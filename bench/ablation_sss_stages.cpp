@@ -1,0 +1,53 @@
+// Ablation of the sort-select-swap stages (DESIGN.md §4): how much of the
+// final quality comes from the coarse-tuning selection, the sliding-window
+// swaps, and the final SAM repair — plus sensitivity to window size and
+// maximum step.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace nocmap;
+  bench::print_header("ablation_sss_stages — SSS stage contributions",
+                      "design-choice ablation for paper Algorithm 2");
+
+  struct Variant {
+    std::string name;
+    SssOptions options;
+  };
+  const std::vector<Variant> variants{
+      {"select only", {.window_swaps = false, .final_sam = false}},
+      {"select+finalSAM", {.window_swaps = false, .final_sam = true}},
+      {"select+swaps", {.window_swaps = true, .final_sam = false}},
+      {"full SSS", {}},
+      {"full, window=2", {.window_size = 2}},
+      {"full, window=3", {.window_size = 3}},
+      {"full, max step=1", {.max_step = 1}},
+      {"full, max step=4", {.max_step = 4}},
+  };
+
+  // Per-variant averages over C1..C8.
+  TextTable t({"variant", "avg max-APL", "avg dev-APL", "avg g-APL"});
+  for (const auto& variant : variants) {
+    double max_sum = 0.0, dev_sum = 0.0, g_sum = 0.0;
+    for (const auto& spec : parsec_table3_configs()) {
+      const ObmProblem problem = bench::standard_problem(spec);
+      SortSelectSwapMapper mapper(variant.options);
+      const LatencyReport r = evaluate(problem, mapper.map(problem));
+      max_sum += r.max_apl;
+      dev_sum += r.dev_apl;
+      g_sum += r.g_apl;
+    }
+    t.add_row({variant.name, fmt(max_sum / 8, 4), fmt(dev_sum / 8, 4),
+               fmt(g_sum / 8, 4)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: the selection stage does the coarse balancing; "
+               "window swaps trade a little\ng-APL for the final max-APL/"
+               "dev-APL reduction; the final SAM repairs within-app\n"
+               "assignments the swaps disturbed. Window size 4 with full "
+               "step range (the paper's choice)\nshould dominate the "
+               "reduced variants.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "bench_common.h"
+
+#include <filesystem>
+#include <memory>
+
+namespace nocmap::bench {
+
+ObmProblem standard_problem(const ConfigSpec& spec) {
+  const Mesh mesh = Mesh::square(8);
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    synthesize_workload(spec, kWorkloadSeed));
+}
+
+ObmProblem standard_problem(const std::string& config_name) {
+  return standard_problem(parsec_config(config_name));
+}
+
+std::vector<std::unique_ptr<Mapper>> paper_mappers() {
+  std::vector<std::unique_ptr<Mapper>> mappers;
+  mappers.push_back(std::make_unique<GlobalMapper>());
+  mappers.push_back(std::make_unique<MonteCarloMapper>(kMcTrials,
+                                                       kAlgorithmSeed));
+  mappers.push_back(std::make_unique<AnnealingMapper>(AnnealingParams{
+      .iterations = kSaIterations, .seed = kAlgorithmSeed}));
+  mappers.push_back(std::make_unique<SortSelectSwapMapper>());
+  return mappers;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==================================================\n"
+            << title << '\n'
+            << "Reproduces: " << paper_ref << '\n'
+            << "Setup: 8x8 mesh, corner MCs, default latency params "
+               "(td_r=3, td_w=1, td_q=0.3, td_s=1.8), workload seed "
+            << kWorkloadSeed << '\n'
+            << "==================================================\n";
+}
+
+void print_mapping_grid(const ObmProblem& problem, const Mapping& mapping,
+                        std::ostream& os) {
+  const Mesh& mesh = problem.mesh();
+  const auto tile_to_thread = mapping.tile_to_thread();
+  for (std::uint32_t r = 0; r < mesh.rows(); ++r) {
+    for (std::uint32_t c = 0; c < mesh.cols(); ++c) {
+      const std::size_t thread = tile_to_thread[mesh.tile_at(r, c)];
+      const std::size_t app = problem.workload().application_of(thread);
+      os << (app + 1) << (c + 1 < mesh.cols() ? " " : "\n");
+    }
+  }
+}
+
+void save_table(const TextTable& table, const std::string& name) {
+  const std::filesystem::path dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cout << "(could not create " << dir.string()
+              << "; skipping CSV export)\n";
+    return;
+  }
+  const std::filesystem::path path = dir / (name + ".csv");
+  table.save_csv(path.string());
+  std::cout << "[csv: " << path.string() << "]\n";
+}
+
+}  // namespace nocmap::bench

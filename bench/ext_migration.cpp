@@ -1,0 +1,46 @@
+// Extension: the migration/latency trade-off in dynamic remapping
+// (paper Section IV.B proposes re-solving OBM on application change; this
+// quantifies what the re-solve costs in thread migrations and what a
+// migration penalty buys back).
+//
+// Scenario: the chip runs C1's solution; the workload shifts to C3
+// (application churn). remap_balanced keeps SSS's per-application tile
+// sets and trades within-application optimality against migrations via the
+// penalty λ.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/remap.h"
+
+int main() {
+  using namespace nocmap;
+  bench::print_header("ext_migration — migrations vs latency in remapping",
+                      "extension of paper Section IV.B dynamic scenario");
+
+  const ObmProblem before = bench::standard_problem("C1");
+  const ObmProblem after = bench::standard_problem("C3");
+  SortSelectSwapMapper sss;
+  const Mapping old_mapping = sss.map(before);
+
+  std::cout << "\nWorkload change C1 -> C3; old mapping = SSS solution of "
+               "C1.\n\n";
+  TextTable t({"penalty λ [cycles]", "moved threads / 64", "max-APL",
+               "dev-APL", "g-APL"});
+  for (double lambda : {0.0, 0.5, 1.0, 2.0, 5.0, 20.0, 1000.0}) {
+    const RemapResult r = remap_balanced(after, old_mapping, lambda);
+    t.add_row({fmt(lambda, 1), std::to_string(r.moved_threads),
+               fmt(r.report.max_apl, 3), fmt(r.report.dev_apl, 3),
+               fmt(r.report.g_apl, 3)});
+  }
+  t.print(std::cout);
+
+  // Reference: an oblivious full re-solve.
+  const LatencyReport fresh = evaluate(after, sss.map(after));
+  std::cout << "\nFresh SSS re-solve (ignores migrations): max-APL "
+            << fmt(fresh.max_apl, 3) << ".\n"
+            << "Reading: a modest penalty removes a large fraction of the "
+               "migrations at almost no\nlatency cost, because the balance "
+               "lives in the per-application *tile sets* while many\n"
+               "within-application assignments are near-ties.\n";
+  return 0;
+}

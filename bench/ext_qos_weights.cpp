@@ -1,0 +1,48 @@
+// Extension: differentiated service through weighted OBM.
+// The paper's Section-I motivation is QoS for paying users; the natural
+// generalization is min max_i w_i·APL_i, where w_i > 1 buys application i
+// a proportionally lower latency. This bench sweeps the priority weight of
+// the lightest C1 application and shows the latency it buys — and what the
+// other applications pay.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/bounds.h"
+
+int main() {
+  using namespace nocmap;
+  bench::print_header("ext_qos_weights — weighted OBM (differentiated QoS)",
+                      "extension of the paper's Section-I QoS motivation");
+
+  const Workload workload =
+      synthesize_workload(parsec_config("C1"), bench::kWorkloadSeed);
+  const TileLatencyModel chip(Mesh::square(8), LatencyParams{});
+
+  TextTable t({"weight of app1", "algorithm", "APL app1", "APL app2",
+               "APL app3", "APL app4", "g-APL", "weighted objective"});
+  for (double w : {1.0, 1.5, 2.0, 3.0, 5.0}) {
+    const ObmProblem problem(chip, workload, {w, 1.0, 1.0, 1.0});
+    SortSelectSwapMapper sss;
+    AnnealingMapper sa(AnnealingParams{.iterations = 50000,
+                                       .seed = bench::kAlgorithmSeed});
+    for (Mapper* mapper : {static_cast<Mapper*>(&sss),
+                           static_cast<Mapper*>(&sa)}) {
+      const LatencyReport r = evaluate(problem, mapper->map(problem));
+      t.add_row({fmt(w, 1), mapper->name(), fmt(r.apl[0]), fmt(r.apl[1]),
+                 fmt(r.apl[2]), fmt(r.apl[3]), fmt(r.g_apl),
+                 fmt(r.objective)});
+    }
+  }
+  t.print(std::cout);
+
+  const ObmProblem plain(chip, workload);
+  std::cout << "\nReading: raising app1's weight buys it lower latency "
+               "until it hits its physical floor —\nthe uncontested relaxed "
+               "minimum "
+            << fmt(relaxed_min_apl(plain, 0))
+            << " cycles (see core/bounds.h) — after which the weighted\n"
+               "objective is app1-bound and further weight changes nothing. "
+               "The other applications pay\n~1 cycle and g-APL rises "
+               "mildly — the price of the guarantee.\n";
+  return 0;
+}

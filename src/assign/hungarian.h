@@ -1,0 +1,53 @@
+// Linear-assignment solver (the Hungarian method of paper reference [15]).
+//
+// The single-application mapping problem (SAM, Section IV.A) and the exact
+// Global baseline both reduce to minimum-cost perfect matching on a dense
+// n×n cost matrix: cost[j][k] = c_j·TC(k) + m_j·TM(k) (eq. 13). We implement
+// the O(n³) shortest-augmenting-path formulation with dual potentials
+// (Jonker–Volgenant style), which is exact and fast enough for thousands of
+// tiles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nocmap {
+
+/// Dense row-major cost matrix for the assignment problem.
+class CostMatrix {
+ public:
+  CostMatrix(std::size_t rows, std::size_t cols, double init = 0.0);
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Result of an assignment: row r is assigned column `row_to_col[r]`.
+struct Assignment {
+  std::vector<std::size_t> row_to_col;
+  double total_cost = 0.0;
+};
+
+/// Exact minimum-cost assignment on a square matrix, O(n³). Throws on a
+/// non-square or empty matrix.
+Assignment solve_assignment(const CostMatrix& cost);
+
+/// Exhaustive O(n!) reference solver; usable for n ≤ 10. Exists so property
+/// tests can verify the Hungarian implementation against ground truth.
+Assignment solve_assignment_brute_force(const CostMatrix& cost);
+
+/// Total cost of an explicit assignment under `cost` (validation helper).
+double assignment_cost(const CostMatrix& cost,
+                       const std::vector<std::size_t>& row_to_col);
+
+}  // namespace nocmap

@@ -1,0 +1,124 @@
+#include "core/annealing_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/evaluator.h"
+#include "util/rng.h"
+
+namespace nocmap {
+
+const char* anneal_objective_name(AnnealObjective objective) {
+  switch (objective) {
+    case AnnealObjective::kMaxApl: return "max-APL";
+    case AnnealObjective::kDevApl: return "dev-APL";
+    case AnnealObjective::kMinToMax: return "min-to-max";
+  }
+  return "?";
+}
+
+std::string AnnealingMapper::name() const {
+  if (params_.objective == AnnealObjective::kMaxApl) return "SA";
+  return std::string("SA(") + anneal_objective_name(params_.objective) + ")";
+}
+
+namespace {
+
+/// Scalar objective (minimized) from the evaluator's per-app APLs.
+double objective_value(const MappingEvaluator& eval, std::size_t num_apps,
+                       AnnealObjective kind) {
+  switch (kind) {
+    case AnnealObjective::kMaxApl:
+      return eval.objective();
+    case AnnealObjective::kDevApl: {
+      // Population stddev over applications with traffic.
+      double sum = 0.0, sum_sq = 0.0;
+      std::size_t count = 0;
+      for (std::size_t a = 0; a < num_apps; ++a) {
+        const double apl = eval.apl(a);
+        if (apl > 0.0) {
+          sum += apl;
+          sum_sq += apl * apl;
+          ++count;
+        }
+      }
+      if (count == 0) return 0.0;
+      const double mean = sum / static_cast<double>(count);
+      return std::sqrt(
+          std::max(0.0, sum_sq / static_cast<double>(count) - mean * mean));
+    }
+    case AnnealObjective::kMinToMax: {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = 0.0;
+      for (std::size_t a = 0; a < num_apps; ++a) {
+        const double apl = eval.apl(a);
+        if (apl > 0.0) {
+          lo = std::min(lo, apl);
+          hi = std::max(hi, apl);
+        }
+      }
+      if (hi == 0.0) return 0.0;
+      return -lo / hi;  // maximize the ratio => minimize its negation
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Mapping AnnealingMapper::map(const ObmProblem& problem) {
+  NOCMAP_REQUIRE(params_.iterations > 0, "SA needs at least one iteration");
+  const std::size_t n = problem.num_threads();
+  const std::size_t num_apps = problem.num_applications();
+  Rng rng(params_.seed);
+
+  // Random initial state.
+  Mapping initial;
+  initial.thread_to_tile.resize(n);
+  {
+    const auto perm = random_permutation(n, rng);
+    for (std::size_t j = 0; j < n; ++j) {
+      initial.thread_to_tile[j] = static_cast<TileId>(perm[j]);
+    }
+  }
+  MappingEvaluator eval(problem, std::move(initial));
+
+  double current = objective_value(eval, num_apps, params_.objective);
+  Mapping best = eval.mapping();
+  double best_obj = current;
+
+  // Temperature scale: relative to the max-APL magnitude so acceptance
+  // probabilities stay meaningful for all objectives.
+  const double scale = std::max(eval.max_apl(), 1.0);
+  const double t0 = std::max(params_.initial_temp_fraction * scale, 1e-9);
+  const double t_end = std::max(t0 * params_.final_temp_fraction, 1e-12);
+  const double alpha =
+      std::pow(t_end / t0, 1.0 / static_cast<double>(params_.iterations));
+
+  double temp = t0;
+  for (std::size_t it = 0; it < params_.iterations; ++it, temp *= alpha) {
+    const auto j1 = static_cast<std::size_t>(
+        rng.uniform_u32(static_cast<std::uint32_t>(n)));
+    const auto j2 = static_cast<std::size_t>(
+        rng.uniform_u32(static_cast<std::uint32_t>(n)));
+    if (j1 == j2) continue;
+
+    eval.swap_threads(j1, j2);
+    const double candidate = objective_value(eval, num_apps,
+                                             params_.objective);
+    const double delta = candidate - current;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      current = candidate;
+      if (current < best_obj) {
+        best_obj = current;
+        best = eval.mapping();
+      }
+    } else {
+      eval.swap_threads(j1, j2);  // revert
+    }
+  }
+  return best;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,54 @@
+// Simulated-annealing baseline for OBM (paper Section V.A algorithm 3).
+//
+// State: a thread-to-tile permutation. Move: swap the tiles of two uniformly
+// random threads (the paper's definition of a "move"). Objective: max-APL,
+// evaluated incrementally in O(A) per move via MappingEvaluator. Cooling is
+// geometric from an initial temperature proportional to the starting
+// objective down to a fixed terminal fraction; the iteration budget is a
+// parameter so Figure 12 (solution quality vs. allowed runtime) can sweep
+// it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapper.h"
+
+namespace nocmap {
+
+/// Optimization objective for the annealer. kMaxApl is the paper's OBM
+/// objective; the other two are the Section-III.A candidate metrics the
+/// paper rejects — implemented so the pathology (perfectly "balanced" but
+/// uniformly slow solutions) can be demonstrated empirically rather than
+/// only on the Figure-5 toy instance.
+enum class AnnealObjective {
+  kMaxApl,      ///< minimize max_i APL_i (the OBM objective)
+  kDevApl,      ///< minimize the stddev of the APLs
+  kMinToMax,    ///< maximize min(APL)/max(APL), i.e. minimize its negation
+};
+
+const char* anneal_objective_name(AnnealObjective objective);
+
+struct AnnealingParams {
+  std::size_t iterations = 200000;
+  /// Initial temperature as a fraction of the initial max-APL.
+  double initial_temp_fraction = 0.05;
+  /// Terminal temperature as a fraction of the initial temperature.
+  double final_temp_fraction = 1e-4;
+  std::uint64_t seed = 1;
+  AnnealObjective objective = AnnealObjective::kMaxApl;
+};
+
+class AnnealingMapper final : public Mapper {
+ public:
+  explicit AnnealingMapper(AnnealingParams params = {}) : params_(params) {}
+
+  std::string name() const override;
+  Mapping map(const ObmProblem& problem) override;
+
+  const AnnealingParams& params() const { return params_; }
+
+ private:
+  AnnealingParams params_;
+};
+
+}  // namespace nocmap

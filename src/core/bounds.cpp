@@ -1,0 +1,69 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "assign/hungarian.h"
+
+namespace nocmap {
+
+double optimal_gapl(const ObmProblem& problem) {
+  const std::size_t n = problem.num_threads();
+  const Workload& wl = problem.workload();
+  const TileLatencyModel& model = problem.model();
+
+  CostMatrix cost(n, n);
+  double volume = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const ThreadProfile& t = wl.thread(j);
+    volume += t.total_rate();
+    for (std::size_t k = 0; k < n; ++k) {
+      cost.at(j, k) = t.cache_rate * model.tc(static_cast<TileId>(k)) +
+                      t.memory_rate * model.tm(static_cast<TileId>(k));
+    }
+  }
+  if (volume <= 0.0) return 0.0;
+  return solve_assignment(cost).total_cost / volume;
+}
+
+double relaxed_min_apl(const ObmProblem& problem, std::size_t app) {
+  const Workload& wl = problem.workload();
+  const TileLatencyModel& model = problem.model();
+  const std::size_t n = problem.num_tiles();
+  const std::size_t lo = wl.first_thread(app);
+  const std::size_t dn = wl.last_thread(app) - lo;
+
+  // Square matrix with (n - dn) zero-cost dummy threads: real threads pick
+  // their best tiles, dummies absorb the rest.
+  CostMatrix cost(n, n, 0.0);
+  double volume = 0.0;
+  for (std::size_t j = 0; j < dn; ++j) {
+    const ThreadProfile& t = wl.thread(lo + j);
+    volume += t.total_rate();
+    for (std::size_t k = 0; k < n; ++k) {
+      cost.at(j, k) = t.cache_rate * model.tc(static_cast<TileId>(k)) +
+                      t.memory_rate * model.tm(static_cast<TileId>(k));
+    }
+  }
+  if (volume <= 0.0) return 0.0;
+  return solve_assignment(cost).total_cost / volume;
+}
+
+double max_apl_lower_bound(const ObmProblem& problem) {
+  // Volume bound: max_i w_i·APL_i >= w_min · max_i APL_i >= w_min · g-APL,
+  // and the minimal achievable g-APL is one Hungarian solve away.
+  double min_weight = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < problem.num_applications(); ++a) {
+    min_weight = std::min(min_weight, problem.app_weight(a));
+  }
+  double bound = min_weight * optimal_gapl(problem);
+  // Per-application bound: application i can never beat its uncontested
+  // relaxed minimum, scaled by its own weight.
+  for (std::size_t a = 0; a < problem.num_applications(); ++a) {
+    bound = std::max(bound,
+                     problem.app_weight(a) * relaxed_min_apl(problem, a));
+  }
+  return bound;
+}
+
+}  // namespace nocmap

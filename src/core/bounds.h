@@ -1,0 +1,30 @@
+// Lower bounds on the OBM objective (max-APL).
+//
+// Used to (a) prune the exact branch-and-bound solver and (b) report the
+// optimality gap of heuristics. Two bounds compose:
+//
+//  * Volume bound: max-APL >= g-APL_min, the optimal global APL from one
+//    Hungarian solve — the max of per-application averages cannot be below
+//    the best achievable volume-weighted overall average.
+//  * Per-application bound: for each application i, APL_i is minimized when
+//    the application can pick its |a_i| favourite tiles from the whole chip
+//    without competition; max-APL >= max_i of those relaxed minima. The
+//    relaxed minimum is itself a rectangular assignment, solved by padding
+//    the cost matrix with zero-cost dummy rows.
+#pragma once
+
+#include "core/problem.h"
+
+namespace nocmap {
+
+/// Optimal (unconstrained-by-balance) g-APL: the Global baseline's value.
+double optimal_gapl(const ObmProblem& problem);
+
+/// Relaxed minimum APL of application `app` if it alone chose its tiles.
+double relaxed_min_apl(const ObmProblem& problem, std::size_t app);
+
+/// Combined lower bound on the optimal objective (max-APL, or the weighted
+/// variant when the problem carries QoS weights).
+double max_apl_lower_bound(const ObmProblem& problem);
+
+}  // namespace nocmap

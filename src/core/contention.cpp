@@ -1,0 +1,168 @@
+#include "core/contention.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace nocmap {
+
+namespace {
+
+/// Direction slot of the link from `from` to adjacent `to`:
+/// 0=east, 1=west, 2=south, 3=north.
+std::size_t direction_slot(const Mesh& mesh, TileId from, TileId to) {
+  const TileCoord a = mesh.coord_of(from);
+  const TileCoord b = mesh.coord_of(to);
+  if (b.row == a.row && b.col == a.col + 1) return 0;
+  if (b.row == a.row && a.col == b.col + 1) return 1;
+  if (b.col == a.col && b.row == a.row + 1) return 2;
+  if (b.col == a.col && a.row == b.row + 1) return 3;
+  throw Error("link endpoints are not mesh-adjacent");
+}
+
+}  // namespace
+
+std::size_t ContentionModel::link_index(TileId from, TileId to) const {
+  return static_cast<std::size_t>(from) * 4 +
+         direction_slot(*mesh_, from, to);
+}
+
+void ContentionModel::add_flow(TileId src, TileId dst,
+                               double flits_per_cycle) {
+  if (src == dst || flits_per_cycle <= 0.0) return;
+  // Walk the XY path: columns first, then rows.
+  TileCoord here = mesh_->coord_of(src);
+  const TileCoord there = mesh_->coord_of(dst);
+  TileId at = src;
+  while (here.col != there.col) {
+    const std::uint32_t next_col =
+        here.col < there.col ? here.col + 1 : here.col - 1;
+    const TileId next = mesh_->tile_at(here.row, next_col);
+    load_[link_index(at, next)] += flits_per_cycle;
+    at = next;
+    here.col = next_col;
+  }
+  while (here.row != there.row) {
+    const std::uint32_t next_row =
+        here.row < there.row ? here.row + 1 : here.row - 1;
+    const TileId next = mesh_->tile_at(next_row, here.col);
+    load_[link_index(at, next)] += flits_per_cycle;
+    at = next;
+    here.row = next_row;
+  }
+}
+
+ContentionModel::ContentionModel(const ObmProblem& problem,
+                                 const Mapping& mapping,
+                                 const ContentionConfig& config)
+    : mesh_(&problem.mesh()) {
+  NOCMAP_REQUIRE(mapping.is_valid_permutation(problem.num_threads()),
+                 "contention model needs a valid mapping");
+  NOCMAP_REQUIRE(config.injection_scale > 0.0,
+                 "injection scale must be positive");
+  load_.assign(problem.num_tiles() * 4, 0.0);
+
+  const Workload& wl = problem.workload();
+  const auto n = static_cast<double>(problem.num_tiles());
+
+  for (std::size_t j = 0; j < wl.num_threads(); ++j) {
+    const ThreadProfile& t = wl.thread(j);
+    const TileId s = mapping.tile_of(j);
+    // Rates are requests per kilocycle.
+    const double cache_rate =
+        t.cache_rate / 1000.0 * config.injection_scale;
+    const double memory_rate =
+        t.memory_rate / 1000.0 * config.injection_scale;
+
+    if (cache_rate > 0.0) {
+      const double per_bank = cache_rate / n;
+      for (TileId bank = 0; bank < problem.num_tiles(); ++bank) {
+        add_flow(s, bank, per_bank * config.request_flits);
+        if (config.include_replies) {
+          add_flow(bank, s, per_bank * config.reply_flits);
+        }
+      }
+    }
+    if (memory_rate > 0.0) {
+      const TileId mc = problem.mesh().nearest_mc(s);
+      add_flow(s, mc, memory_rate * config.request_flits);
+      if (config.include_replies) {
+        add_flow(mc, s, memory_rate * config.reply_flits);
+      }
+    }
+  }
+}
+
+double ContentionModel::link_load(TileId from, TileId to) const {
+  return load_[link_index(from, to)];
+}
+
+double ContentionModel::max_utilization() const {
+  return *std::max_element(load_.begin(), load_.end());
+}
+
+double ContentionModel::mean_utilization() const {
+  // Count only physical links (border tiles lack some directions; their
+  // slots stay zero and are excluded).
+  const std::size_t links =
+      2 * (mesh_->rows() * (mesh_->cols() - 1) +
+           mesh_->cols() * (mesh_->rows() - 1));
+  double sum = 0.0;
+  for (double u : load_) sum += u;
+  return links > 0 ? sum / static_cast<double>(links) : 0.0;
+}
+
+double ContentionModel::saturation_scale() const {
+  const double u = max_utilization();
+  return u > 0.0 ? 1.0 / u : std::numeric_limits<double>::infinity();
+}
+
+double ContentionModel::queue_delay(double utilization) {
+  const double u = std::clamp(utilization, 0.0, 0.999);
+  return u / (2.0 * (1.0 - u));
+}
+
+double ContentionModel::expected_packet_queuing(TileId src,
+                                                TileId dst) const {
+  if (src == dst) return 0.0;
+  double total = 0.0;
+  TileCoord here = mesh_->coord_of(src);
+  const TileCoord there = mesh_->coord_of(dst);
+  TileId at = src;
+  while (here.col != there.col) {
+    const std::uint32_t next_col =
+        here.col < there.col ? here.col + 1 : here.col - 1;
+    const TileId next = mesh_->tile_at(here.row, next_col);
+    total += queue_delay(link_load(at, next));
+    at = next;
+    here.col = next_col;
+  }
+  while (here.row != there.row) {
+    const std::uint32_t next_row =
+        here.row < there.row ? here.row + 1 : here.row - 1;
+    const TileId next = mesh_->tile_at(next_row, here.col);
+    total += queue_delay(link_load(at, next));
+    at = next;
+    here.row = next_row;
+  }
+  return total;
+}
+
+double ContentionModel::predicted_td_q() const {
+  // A random flit lands on link L with probability proportional to L's
+  // load, and then waits W(u_L).
+  double weighted = 0.0;
+  double total = 0.0;
+  for (double u : load_) {
+    weighted += u * queue_delay(u);
+    total += u;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+double ContentionModel::total_flit_hops() const {
+  double sum = 0.0;
+  for (double u : load_) sum += u;
+  return sum;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,75 @@
+// Contention-aware analytic network model.
+//
+// The paper's latency model treats the per-hop queuing delay td_q as a
+// small constant, justified empirically (0..1 cycles at its loads). This
+// module derives the queuing from first principles for a *given mapping*:
+// it accumulates per-link flit rates by walking every traffic flow's XY
+// path (cache requests fan out uniformly to all banks, replies return,
+// memory requests target the nearest MC), then estimates per-link waiting
+// with an M/D/1 approximation (unit service: one flit per cycle per link):
+//
+//     W(u) = u / (2·(1 − u))   cycles of queueing per flit
+//
+// Uses: predicting the saturation injection scale (1 / max link
+// utilization), a mapping-dependent td_q estimate to refine the latency
+// model, and hotspot analysis (does balancing APLs also balance links?).
+#pragma once
+
+#include <vector>
+
+#include "core/problem.h"
+
+namespace nocmap {
+
+struct ContentionConfig {
+  double injection_scale = 1.0;  ///< multiplier on workload rates
+  double request_flits = 1.0;    ///< short packet
+  double reply_flits = 5.0;      ///< long data packet
+  bool include_replies = true;   ///< model the reply direction too
+};
+
+class ContentionModel {
+ public:
+  ContentionModel(const ObmProblem& problem, const Mapping& mapping,
+                  const ContentionConfig& config = {});
+
+  /// Flits/cycle on the directed link from `from` to its neighbour `to`
+  /// (must be mesh-adjacent).
+  double link_load(TileId from, TileId to) const;
+  /// Same as link_load (capacity is 1 flit/cycle, so load == utilization).
+  double link_utilization(TileId from, TileId to) const {
+    return link_load(from, to);
+  }
+
+  double max_utilization() const;
+  /// Mean utilization over all directed links (including idle ones).
+  double mean_utilization() const;
+
+  /// Injection scale at which the hottest link reaches capacity — the
+  /// predicted saturation knee of the latency-vs-load curve.
+  double saturation_scale() const;
+
+  /// M/D/1 waiting time on one link (cycles per flit); clamped just below
+  /// capacity to stay finite.
+  static double queue_delay(double utilization);
+
+  /// Expected queuing a packet accumulates along the XY path src→dst.
+  double expected_packet_queuing(TileId src, TileId dst) const;
+
+  /// Flit-weighted average per-hop queuing — the model's td_q estimate,
+  /// comparable with ActivityCounters::avg_queue_wait().
+  double predicted_td_q() const;
+
+  /// Total flit·hops per cycle (conservation checks: equals the sum of all
+  /// link loads).
+  double total_flit_hops() const;
+
+ private:
+  std::size_t link_index(TileId from, TileId to) const;
+  void add_flow(TileId src, TileId dst, double flits_per_cycle);
+
+  const Mesh* mesh_;
+  std::vector<double> load_;  // 4 directed link slots per tile
+};
+
+}  // namespace nocmap

@@ -1,0 +1,114 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+
+#include "core/metrics.h"
+
+namespace nocmap {
+
+MappingEvaluator::MappingEvaluator(const ObmProblem& problem, Mapping initial)
+    : problem_(&problem), mapping_(std::move(initial)) {
+  NOCMAP_REQUIRE(mapping_.is_valid_permutation(problem.num_threads()),
+                 "initial mapping must be a valid permutation");
+  const Workload& wl = problem.workload();
+  const std::size_t num_apps = wl.num_applications();
+
+  tile_to_thread_.assign(problem.num_tiles(), 0);
+  for (std::size_t j = 0; j < mapping_.size(); ++j) {
+    tile_to_thread_[mapping_.tile_of(j)] = j;
+  }
+
+  numerator_.assign(num_apps, 0.0);
+  denominator_.assign(num_apps, 0.0);
+  for (std::size_t i = 0; i < num_apps; ++i) {
+    for (std::size_t j = wl.first_thread(i); j < wl.last_thread(i); ++j) {
+      numerator_[i] += thread_cost(j, mapping_.tile_of(j));
+      denominator_[i] += wl.thread(j).total_rate();
+    }
+    total_numerator_ += numerator_[i];
+    total_denominator_ += denominator_[i];
+  }
+}
+
+double MappingEvaluator::apl(std::size_t app) const {
+  NOCMAP_REQUIRE(app < numerator_.size(), "application index out of range");
+  return denominator_[app] > 0.0 ? numerator_[app] / denominator_[app] : 0.0;
+}
+
+double MappingEvaluator::max_apl() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < numerator_.size(); ++i) {
+    if (denominator_[i] > 0.0) {
+      best = std::max(best, numerator_[i] / denominator_[i]);
+    }
+  }
+  return best;
+}
+
+double MappingEvaluator::objective() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < numerator_.size(); ++i) {
+    if (denominator_[i] > 0.0) {
+      best = std::max(best, problem_->app_weight(i) * numerator_[i] /
+                                denominator_[i]);
+    }
+  }
+  return best;
+}
+
+double MappingEvaluator::g_apl() const {
+  return total_denominator_ > 0.0 ? total_numerator_ / total_denominator_
+                                  : 0.0;
+}
+
+double MappingEvaluator::thread_cost(std::size_t j, TileId tile) const {
+  const ThreadProfile& t = problem_->workload().thread(j);
+  const TileLatencyModel& model = problem_->model();
+  return t.cache_rate * model.tc(tile) + t.memory_rate * model.tm(tile);
+}
+
+void MappingEvaluator::move_thread_unchecked(std::size_t j, TileId tile) {
+  const std::size_t app = problem_->workload().application_of(j);
+  const TileId old_tile = mapping_.thread_to_tile[j];
+  const double delta = thread_cost(j, tile) - thread_cost(j, old_tile);
+  numerator_[app] += delta;
+  total_numerator_ += delta;
+  mapping_.thread_to_tile[j] = tile;
+  tile_to_thread_[tile] = j;
+}
+
+void MappingEvaluator::swap_threads(std::size_t j1, std::size_t j2) {
+  NOCMAP_REQUIRE(j1 < mapping_.size() && j2 < mapping_.size(),
+                 "thread index out of range");
+  if (j1 == j2) return;
+  const TileId t1 = mapping_.tile_of(j1);
+  const TileId t2 = mapping_.tile_of(j2);
+  move_thread_unchecked(j1, t2);
+  move_thread_unchecked(j2, t1);
+}
+
+void MappingEvaluator::apply_group(std::span<const std::size_t> threads,
+                                   std::span<const TileId> tiles) {
+  NOCMAP_REQUIRE(threads.size() == tiles.size(),
+                 "group thread/tile arity mismatch");
+#ifndef NDEBUG
+  // The tile multiset must equal the tiles the group currently occupies,
+  // otherwise the permutation would break.
+  std::vector<TileId> held;
+  held.reserve(threads.size());
+  for (std::size_t j : threads) held.push_back(mapping_.tile_of(j));
+  std::vector<TileId> target(tiles.begin(), tiles.end());
+  std::sort(held.begin(), held.end());
+  std::sort(target.begin(), target.end());
+  NOCMAP_ASSERT(held == target);
+#endif
+  for (std::size_t idx = 0; idx < threads.size(); ++idx) {
+    move_thread_unchecked(threads[idx], tiles[idx]);
+  }
+}
+
+double MappingEvaluator::recomputed_max_apl() const {
+  return evaluate(*problem_, mapping_).max_apl;
+}
+
+}  // namespace nocmap

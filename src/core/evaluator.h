@@ -1,0 +1,70 @@
+// Incremental mapping evaluator.
+//
+// The sliding-window swap stage of sort-select-swap evaluates 24
+// permutations per window over O(N²) windows, and simulated annealing
+// evaluates one two-thread swap per iteration; recomputing eq. 5 from
+// scratch each time would cost O(N) per evaluation. This evaluator keeps
+// per-application weighted-latency numerators (denominators are mapping-
+// independent) so a thread move is O(1) and a max-APL query is O(A).
+//
+// The evaluator owns a live mapping that always remains a valid permutation:
+// mutations are expressed as swaps of two threads' tiles or as group
+// re-assignments of a thread set onto the tile set it already occupies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace nocmap {
+
+class MappingEvaluator {
+ public:
+  /// Takes the problem (kept by reference; must outlive the evaluator) and
+  /// an initial valid mapping.
+  MappingEvaluator(const ObmProblem& problem, Mapping initial);
+
+  const Mapping& mapping() const { return mapping_; }
+  /// Thread currently running on `tile`.
+  std::size_t thread_on(TileId tile) const { return tile_to_thread_[tile]; }
+
+  double apl(std::size_t app) const;
+  /// Max over applications with non-zero traffic; O(A).
+  double max_apl() const;
+  /// The OBM objective max_i w_i·APL_i; equals max_apl() when the problem
+  /// is unweighted. Algorithms minimize this.
+  double objective() const;
+  double g_apl() const;
+
+  /// Swaps the tiles of threads j1 and j2 (j1 == j2 is a no-op).
+  void swap_threads(std::size_t j1, std::size_t j2);
+
+  /// Re-assigns `threads[idx]` to `tiles[idx]` for all idx. The tile set
+  /// must equal the set of tiles currently occupied by `threads` (i.e. this
+  /// is a permutation within the group), which keeps the mapping valid.
+  void apply_group(std::span<const std::size_t> threads,
+                   std::span<const TileId> tiles);
+
+  /// Cost contribution of thread j when placed on `tile`
+  /// (c_j·TC + m_j·TM, eq. 13).
+  double thread_cost(std::size_t j, TileId tile) const;
+
+  /// Recomputes everything from scratch; used by tests to check that the
+  /// incremental state never drifts.
+  double recomputed_max_apl() const;
+
+ private:
+  void move_thread_unchecked(std::size_t j, TileId tile);
+
+  const ObmProblem* problem_;
+  Mapping mapping_;
+  std::vector<std::size_t> tile_to_thread_;
+  std::vector<double> numerator_;    // per app: Σ c_j TC(π(j)) + m_j TM(π(j))
+  std::vector<double> denominator_;  // per app: Σ c_j + m_j (constant)
+  double total_numerator_ = 0.0;
+  double total_denominator_ = 0.0;
+};
+
+}  // namespace nocmap

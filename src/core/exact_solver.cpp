@@ -1,0 +1,181 @@
+#include "core/exact_solver.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/metrics.h"
+#include "core/sss_mapper.h"
+
+namespace nocmap {
+
+namespace {
+
+struct SearchState {
+  const ObmProblem* problem;
+  ExactSolverOptions options;
+
+  std::vector<std::size_t> thread_order;  // descending total rate
+  std::vector<std::vector<double>> cost;  // [thread][tile]
+  std::vector<double> app_denominator;
+  std::vector<double> app_weight;
+  std::vector<std::size_t> app_of;
+
+  // Per (depth, app): minimal possible remaining numerator if every not-
+  // yet-assigned thread of the app took its global cheapest tile.
+  std::vector<std::vector<double>> optimistic_tail;
+
+  std::vector<double> app_numerator;
+  std::vector<TileId> assigned_tile;  // by order position
+  std::vector<char> tile_used;
+
+  double best_obj = std::numeric_limits<double>::infinity();
+  std::vector<TileId> best_assignment;  // by order position
+  std::uint64_t nodes = 0;
+  bool budget_hit = false;
+
+  double objective() const {
+    double worst = 0.0;
+    for (std::size_t a = 0; a < app_numerator.size(); ++a) {
+      if (app_denominator[a] > 0.0) {
+        worst = std::max(
+            worst, app_weight[a] * app_numerator[a] / app_denominator[a]);
+      }
+    }
+    return worst;
+  }
+
+  /// Optimistic lower bound for the subtree at `depth` (threads
+  /// thread_order[depth..] unassigned).
+  double lower_bound(std::size_t depth) const {
+    double worst = 0.0;
+    for (std::size_t a = 0; a < app_numerator.size(); ++a) {
+      if (app_denominator[a] > 0.0) {
+        worst = std::max(worst,
+                         app_weight[a] *
+                             (app_numerator[a] + optimistic_tail[depth][a]) /
+                             app_denominator[a]);
+      }
+    }
+    return worst;
+  }
+
+  void dfs(std::size_t depth) {
+    if (budget_hit) return;
+    if (++nodes > options.max_nodes) {
+      budget_hit = true;
+      return;
+    }
+    if (depth == thread_order.size()) {
+      const double obj = objective();
+      if (obj < best_obj) {
+        best_obj = obj;
+        best_assignment = assigned_tile;
+      }
+      return;
+    }
+    if (lower_bound(depth) >= best_obj) return;  // prune
+
+    const std::size_t j = thread_order[depth];
+    const std::size_t app = app_of[j];
+
+    // Try tiles cheapest-first for this thread so good incumbents come
+    // early.
+    std::vector<TileId> tiles(tile_used.size());
+    std::iota(tiles.begin(), tiles.end(), TileId{0});
+    std::sort(tiles.begin(), tiles.end(), [&](TileId x, TileId y) {
+      return cost[j][x] < cost[j][y];
+    });
+
+    for (TileId tile : tiles) {
+      if (tile_used[tile]) continue;
+      tile_used[tile] = 1;
+      assigned_tile[depth] = tile;
+      app_numerator[app] += cost[j][tile];
+      dfs(depth + 1);
+      app_numerator[app] -= cost[j][tile];
+      tile_used[tile] = 0;
+      if (budget_hit) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult solve_obm_exact(const ObmProblem& problem,
+                            const ExactSolverOptions& options) {
+  const std::size_t n = problem.num_threads();
+  NOCMAP_REQUIRE(n <= options.max_threads,
+                 "instance too large for the exact solver");
+
+  const Workload& wl = problem.workload();
+  const TileLatencyModel& model = problem.model();
+
+  SearchState st;
+  st.problem = &problem;
+  st.options = options;
+
+  st.cost.assign(n, std::vector<double>(n, 0.0));
+  st.app_of.resize(n);
+  st.app_denominator.assign(wl.num_applications(), 0.0);
+  st.app_weight.resize(wl.num_applications());
+  for (std::size_t a = 0; a < wl.num_applications(); ++a) {
+    st.app_weight[a] = problem.app_weight(a);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const ThreadProfile& t = wl.thread(j);
+    st.app_of[j] = wl.application_of(j);
+    st.app_denominator[st.app_of[j]] += t.total_rate();
+    for (std::size_t k = 0; k < n; ++k) {
+      st.cost[j][k] = t.cache_rate * model.tc(static_cast<TileId>(k)) +
+                      t.memory_rate * model.tm(static_cast<TileId>(k));
+    }
+  }
+
+  // Branch on hot threads first: their placement moves the bound most.
+  st.thread_order.resize(n);
+  std::iota(st.thread_order.begin(), st.thread_order.end(), std::size_t{0});
+  std::sort(st.thread_order.begin(), st.thread_order.end(),
+            [&](std::size_t x, std::size_t y) {
+              return wl.thread(x).total_rate() > wl.thread(y).total_rate();
+            });
+
+  // optimistic_tail[d][a]: sum over order positions >= d of the cheapest
+  // tile cost of that thread (relaxation: ignores tile exclusivity).
+  st.optimistic_tail.assign(n + 1,
+                            std::vector<double>(wl.num_applications(), 0.0));
+  for (std::size_t d = n; d-- > 0;) {
+    st.optimistic_tail[d] = st.optimistic_tail[d + 1];
+    const std::size_t j = st.thread_order[d];
+    const double cheapest =
+        *std::min_element(st.cost[j].begin(), st.cost[j].end());
+    st.optimistic_tail[d][st.app_of[j]] += cheapest;
+  }
+
+  // Incumbent: the SSS heuristic solution.
+  SortSelectSwapMapper sss;
+  const Mapping warm = sss.map(problem);
+  st.best_obj = evaluate(problem, warm).objective;
+  st.best_assignment.resize(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    st.best_assignment[d] = warm.tile_of(st.thread_order[d]);
+  }
+
+  st.app_numerator.assign(wl.num_applications(), 0.0);
+  st.assigned_tile.assign(n, 0);
+  st.tile_used.assign(n, 0);
+  st.dfs(0);
+
+  ExactResult result;
+  result.mapping.thread_to_tile.resize(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    result.mapping.thread_to_tile[st.thread_order[d]] =
+        st.best_assignment[d];
+  }
+  result.max_apl = st.best_obj;
+  result.nodes_explored = st.nodes;
+  result.proven_optimal = !st.budget_hit;
+  return result;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,136 @@
+#include "core/genetic_mapper.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/metrics.h"
+#include "util/rng.h"
+
+namespace nocmap {
+
+namespace {
+
+using Genome = std::vector<TileId>;
+
+double fitness(const ObmProblem& problem, const Genome& genome) {
+  const Workload& wl = problem.workload();
+  const TileLatencyModel& model = problem.model();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < wl.num_applications(); ++i) {
+    double weighted = 0.0;
+    double volume = 0.0;
+    for (std::size_t j = wl.first_thread(i); j < wl.last_thread(i); ++j) {
+      const ThreadProfile& t = wl.thread(j);
+      weighted += t.cache_rate * model.tc(genome[j]) +
+                  t.memory_rate * model.tm(genome[j]);
+      volume += t.total_rate();
+    }
+    if (volume > 0.0) {
+      worst = std::max(worst, problem.app_weight(i) * weighted / volume);
+    }
+  }
+  return worst;
+}
+
+/// Partially mapped crossover: child inherits a random segment from parent
+/// a and fills the rest from parent b via the PMX mapping, preserving
+/// permutation validity.
+Genome pmx(const Genome& a, const Genome& b, Rng& rng) {
+  const std::size_t n = a.size();
+  std::size_t lo = rng.uniform_u32(static_cast<std::uint32_t>(n));
+  std::size_t hi = rng.uniform_u32(static_cast<std::uint32_t>(n));
+  if (lo > hi) std::swap(lo, hi);
+
+  constexpr TileId kUnset = std::numeric_limits<TileId>::max();
+  Genome child(n, kUnset);
+  std::vector<TileId> position_of(n, static_cast<TileId>(kUnset));
+  for (std::size_t i = lo; i <= hi; ++i) {
+    child[i] = a[i];
+    position_of[a[i]] = static_cast<TileId>(i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= lo && i <= hi) continue;
+    TileId candidate = b[i];
+    // Follow the mapping chain until the candidate is not in the segment.
+    while (position_of[candidate] != static_cast<TileId>(kUnset)) {
+      candidate = b[position_of[candidate]];
+    }
+    child[i] = candidate;
+    position_of[candidate] = static_cast<TileId>(i);
+  }
+  return child;
+}
+
+}  // namespace
+
+Mapping GeneticMapper::map(const ObmProblem& problem) {
+  NOCMAP_REQUIRE(params_.population >= 2, "population must be >= 2");
+  NOCMAP_REQUIRE(params_.elites < params_.population,
+                 "elites must be < population");
+  NOCMAP_REQUIRE(params_.tournament >= 1, "tournament must be >= 1");
+
+  const std::size_t n = problem.num_threads();
+  Rng rng(params_.seed);
+
+  struct Individual {
+    Genome genome;
+    double fitness = 0.0;
+  };
+  std::vector<Individual> population(params_.population);
+  for (auto& ind : population) {
+    ind.genome.reserve(n);
+    for (std::size_t v : random_permutation(n, rng)) {
+      ind.genome.push_back(static_cast<TileId>(v));
+    }
+    ind.fitness = fitness(problem, ind.genome);
+  }
+
+  auto by_fitness = [](const Individual& x, const Individual& y) {
+    return x.fitness < y.fitness;
+  };
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (std::size_t t = 0; t < params_.tournament; ++t) {
+      const auto idx = rng.uniform_u32(
+          static_cast<std::uint32_t>(population.size()));
+      if (best == nullptr || population[idx].fitness < best->fitness) {
+        best = &population[idx];
+      }
+    }
+    return *best;
+  };
+
+  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    std::sort(population.begin(), population.end(), by_fitness);
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (std::size_t e = 0; e < params_.elites; ++e) {
+      next.push_back(population[e]);
+    }
+    while (next.size() < population.size()) {
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      Individual child;
+      child.genome = rng.bernoulli(params_.crossover_rate)
+                         ? pmx(pa.genome, pb.genome, rng)
+                         : pa.genome;
+      if (rng.bernoulli(params_.mutation_rate)) {
+        const auto x = rng.uniform_u32(static_cast<std::uint32_t>(n));
+        const auto y = rng.uniform_u32(static_cast<std::uint32_t>(n));
+        std::swap(child.genome[x], child.genome[y]);
+      }
+      child.fitness = fitness(problem, child.genome);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  const auto best =
+      std::min_element(population.begin(), population.end(), by_fitness);
+  Mapping mapping;
+  mapping.thread_to_tile = best->genome;
+  return mapping;
+}
+
+}  // namespace nocmap

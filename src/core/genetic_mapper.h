@@ -1,0 +1,42 @@
+// Genetic-search baseline for OBM.
+//
+// The paper's related work (Section IV, refs [14][17]) cites genetic search
+// as a general neighborhood-search approach to NoC mapping that is "too
+// time-consuming to reach a satisfying solution"; we implement it so that
+// claim can be measured rather than assumed (see ext_heuristic_faceoff).
+//
+// Standard permutation GA: tournament selection, PMX (partially mapped
+// crossover, which preserves permutation validity), swap mutation, and
+// elitism, with max-APL as the (minimized) fitness.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapper.h"
+
+namespace nocmap {
+
+struct GeneticParams {
+  std::size_t population = 64;
+  std::size_t generations = 200;
+  std::size_t tournament = 4;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.2;  ///< probability of one swap per offspring
+  std::size_t elites = 2;      ///< individuals copied unchanged
+  std::uint64_t seed = 1;
+};
+
+class GeneticMapper final : public Mapper {
+ public:
+  explicit GeneticMapper(GeneticParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "GA"; }
+  Mapping map(const ObmProblem& problem) override;
+
+  const GeneticParams& params() const { return params_; }
+
+ private:
+  GeneticParams params_;
+};
+
+}  // namespace nocmap

@@ -1,0 +1,30 @@
+#include "core/global_mapper.h"
+
+#include "assign/hungarian.h"
+
+namespace nocmap {
+
+Mapping GlobalMapper::map(const ObmProblem& problem) {
+  const std::size_t n = problem.num_threads();
+  const Workload& wl = problem.workload();
+  const TileLatencyModel& model = problem.model();
+
+  CostMatrix cost(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const ThreadProfile& t = wl.thread(j);
+    for (std::size_t k = 0; k < n; ++k) {
+      cost.at(j, k) = t.cache_rate * model.tc(static_cast<TileId>(k)) +
+                      t.memory_rate * model.tm(static_cast<TileId>(k));
+    }
+  }
+
+  const Assignment assignment = solve_assignment(cost);
+  Mapping mapping;
+  mapping.thread_to_tile.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    mapping.thread_to_tile[j] = static_cast<TileId>(assignment.row_to_col[j]);
+  }
+  return mapping;
+}
+
+}  // namespace nocmap

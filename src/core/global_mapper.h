@@ -1,0 +1,21 @@
+// The Global baseline (paper Sections II.D, V.A algorithm 1): minimize the
+// overall g-APL of all threads, ignoring per-application balance.
+//
+// Because g-APL's denominator (total communication volume) is mapping-
+// independent, minimizing g-APL is exactly minimizing
+// Σ_j c_j·TC(π(j)) + m_j·TM(π(j)) — one N×N linear assignment. We therefore
+// solve Global *optimally* with the Hungarian method, making it the
+// strongest form of the baseline the paper argues against.
+#pragma once
+
+#include "core/mapper.h"
+
+namespace nocmap {
+
+class GlobalMapper final : public Mapper {
+ public:
+  std::string name() const override { return "Global"; }
+  Mapping map(const ObmProblem& problem) override;
+};
+
+}  // namespace nocmap

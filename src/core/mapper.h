@@ -1,0 +1,27 @@
+// Common interface for the four mapping algorithms compared in the paper's
+// evaluation (Section V.A): Global, Monte-Carlo, Simulated-Annealing and the
+// proposed sort-select-swap, plus a uniform-random strawman used for the
+// Table-1 "random average" column.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace nocmap {
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Human-readable algorithm name for tables ("Global", "MC", "SA", "SSS").
+  virtual std::string name() const = 0;
+
+  /// Produces a complete thread-to-tile mapping for the problem. Must
+  /// return a valid permutation.
+  virtual Mapping map(const ObmProblem& problem) = 0;
+};
+
+}  // namespace nocmap

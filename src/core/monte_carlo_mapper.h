@@ -1,0 +1,31 @@
+// Monte-Carlo baseline for OBM (paper Section V.A algorithm 2): draw a large
+// number of uniform random mappings (the paper uses 10⁴) and keep the one
+// with the smallest max-APL. Trials are independent, so they are sharded
+// across a thread pool with per-shard RNG streams; results are deterministic
+// for a fixed (seed, trials) pair regardless of thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapper.h"
+
+namespace nocmap {
+
+class MonteCarloMapper final : public Mapper {
+ public:
+  explicit MonteCarloMapper(std::size_t trials = 10000,
+                            std::uint64_t seed = 1, bool parallel = true)
+      : trials_(trials), seed_(seed), parallel_(parallel) {}
+
+  std::string name() const override { return "MC"; }
+  Mapping map(const ObmProblem& problem) override;
+
+  std::size_t trials() const { return trials_; }
+
+ private:
+  std::size_t trials_;
+  std::uint64_t seed_;
+  bool parallel_;
+};
+
+}  // namespace nocmap

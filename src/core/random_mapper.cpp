@@ -1,0 +1,15 @@
+#include "core/random_mapper.h"
+
+namespace nocmap {
+
+Mapping RandomMapper::map(const ObmProblem& problem) {
+  const auto perm = random_permutation(problem.num_threads(), rng_);
+  Mapping mapping;
+  mapping.thread_to_tile.resize(perm.size());
+  for (std::size_t j = 0; j < perm.size(); ++j) {
+    mapping.thread_to_tile[j] = static_cast<TileId>(perm[j]);
+  }
+  return mapping;
+}
+
+}  // namespace nocmap

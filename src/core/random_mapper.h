@@ -1,0 +1,27 @@
+// Uniform-random mapping. Not an algorithm the paper proposes — it is the
+// reference point of Table 1 ("Random average"): the expected latency
+// balance of an oblivious scheduler, against which Global's imbalance
+// exacerbation is demonstrated.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapper.h"
+#include "util/rng.h"
+
+namespace nocmap {
+
+class RandomMapper final : public Mapper {
+ public:
+  explicit RandomMapper(std::uint64_t seed = 1) : rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+  /// Each call draws a fresh uniform permutation (the mapper is stateful so
+  /// repeated calls produce the independent samples Table 1 averages over).
+  Mapping map(const ObmProblem& problem) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace nocmap

@@ -1,0 +1,82 @@
+#include "core/remap.h"
+
+#include <algorithm>
+
+#include "assign/hungarian.h"
+
+namespace nocmap {
+
+std::size_t count_moved_threads(const Mapping& before, const Mapping& after) {
+  const std::size_t overlap =
+      std::min(before.thread_to_tile.size(), after.thread_to_tile.size());
+  std::size_t moved = 0;
+  for (std::size_t j = 0; j < overlap; ++j) {
+    if (before.thread_to_tile[j] != after.thread_to_tile[j]) ++moved;
+  }
+  // Threads with no old position count as moved (they must be placed).
+  moved += after.thread_to_tile.size() - overlap;
+  return moved;
+}
+
+RemapResult remap_balanced(const ObmProblem& problem,
+                           const Mapping& old_mapping,
+                           double migration_penalty_cycles,
+                           const SssOptions& sss_options) {
+  NOCMAP_REQUIRE(migration_penalty_cycles >= 0.0,
+                 "migration penalty must be non-negative");
+  const Workload& wl = problem.workload();
+  const TileLatencyModel& model = problem.model();
+
+  // Stage 1: fresh balanced solution fixes the per-application tile sets.
+  SortSelectSwapMapper sss(sss_options);
+  Mapping fresh = sss.map(problem);
+
+  // Stage 2: within each application, migration-aware assignment onto the
+  // fresh tile set.
+  RemapResult result;
+  result.mapping.thread_to_tile.resize(problem.num_threads());
+  for (std::size_t a = 0; a < wl.num_applications(); ++a) {
+    const std::size_t lo = wl.first_thread(a);
+    const std::size_t dn = wl.last_thread(a) - lo;
+    std::vector<TileId> tiles(dn);
+    for (std::size_t t = 0; t < dn; ++t) {
+      tiles[t] = fresh.thread_to_tile[lo + t];
+    }
+
+    CostMatrix cost(dn, dn);
+    for (std::size_t t = 0; t < dn; ++t) {
+      const std::size_t j = lo + t;
+      const ThreadProfile& prof = wl.thread(j);
+      const bool has_old = j < old_mapping.thread_to_tile.size();
+      for (std::size_t k = 0; k < dn; ++k) {
+        double c = prof.cache_rate * model.tc(tiles[k]) +
+                   prof.memory_rate * model.tm(tiles[k]);
+        if (has_old && old_mapping.thread_to_tile[j] != tiles[k]) {
+          c += migration_penalty_cycles * prof.total_rate();
+        }
+        cost.at(t, k) = c;
+      }
+    }
+    const Assignment assignment = solve_assignment(cost);
+    for (std::size_t t = 0; t < dn; ++t) {
+      result.mapping.thread_to_tile[lo + t] =
+          tiles[assignment.row_to_col[t]];
+    }
+  }
+
+  // Count real migrations: zero-rate pad threads are fictitious and move
+  // for free.
+  result.moved_threads = 0;
+  for (std::size_t j = 0; j < problem.num_threads(); ++j) {
+    if (wl.thread(j).total_rate() <= 0.0) continue;
+    const bool has_old = j < old_mapping.thread_to_tile.size();
+    if (!has_old ||
+        old_mapping.thread_to_tile[j] != result.mapping.thread_to_tile[j]) {
+      ++result.moved_threads;
+    }
+  }
+  result.report = evaluate(problem, result.mapping);
+  return result;
+}
+
+}  // namespace nocmap

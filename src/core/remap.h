@@ -1,0 +1,47 @@
+// Migration-aware dynamic remapping (extension of paper Section IV.B).
+//
+// The paper proposes re-solving OBM whenever applications arrive or leave.
+// A from-scratch re-solve may move every thread, and each migration costs
+// real work (context transfer, private-cache warmup). This module keeps
+// SSS's balance while minimizing migrations:
+//
+//   1. Solve the new OBM instance with sort-select-swap — this fixes the
+//      per-application *tile sets*, which is what latency balance depends
+//      on (each application's APL is determined by its set of tiles and
+//      its internal assignment).
+//   2. Within each application, assign threads to that tile set with a
+//      migration-aware SAM: cost_{jk} = c_j·TC(k) + m_j·TM(k) +
+//      λ·(c_j+m_j)·[k ≠ old tile of j]. The penalty λ is in cycles — the
+//      latency-equivalent price of moving one unit of request rate — so it
+//      composes dimensionally with the latency cost.
+//
+// λ = 0 reproduces plain SSS; λ → ∞ keeps every thread whose old tile is
+// in its application's new tile set in place.
+#pragma once
+
+#include "core/metrics.h"
+#include "core/sss_mapper.h"
+
+namespace nocmap {
+
+struct RemapResult {
+  Mapping mapping;
+  /// Threads whose tile changed relative to the old mapping.
+  std::size_t moved_threads = 0;
+  /// Metrics of the new mapping under the (new) problem.
+  LatencyReport report;
+};
+
+/// Balanced remap with migration penalty λ (cycles per unit rate moved).
+/// `old_mapping` must be a valid permutation for the problem's tile count;
+/// threads beyond its size (e.g. a freshly arrived application occupying
+/// previously idle pad slots) are treated as having no old position.
+RemapResult remap_balanced(const ObmProblem& problem,
+                           const Mapping& old_mapping,
+                           double migration_penalty_cycles,
+                           const SssOptions& sss_options = {});
+
+/// Number of positions where the two mappings differ.
+std::size_t count_moved_threads(const Mapping& before, const Mapping& after);
+
+}  // namespace nocmap

@@ -1,0 +1,36 @@
+#include "core/sam.h"
+
+#include "assign/hungarian.h"
+
+namespace nocmap {
+
+SamResult solve_sam(std::span<const ThreadProfile> threads,
+                    std::span<const TileId> tiles,
+                    const TileLatencyModel& model) {
+  NOCMAP_REQUIRE(threads.size() == tiles.size(),
+                 "SAM needs as many tiles as threads");
+  NOCMAP_REQUIRE(!threads.empty(), "SAM on empty application");
+
+  const std::size_t n = threads.size();
+  CostMatrix cost(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      cost.at(j, k) = threads[j].cache_rate * model.tc(tiles[k]) +
+                      threads[j].memory_rate * model.tm(tiles[k]);
+    }
+  }
+
+  const Assignment assignment = solve_assignment(cost);
+
+  SamResult result;
+  result.tiles.resize(n);
+  double volume = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    result.tiles[j] = tiles[assignment.row_to_col[j]];
+    volume += threads[j].total_rate();
+  }
+  result.apl = volume > 0.0 ? assignment.total_cost / volume : 0.0;
+  return result;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,31 @@
+// Single-Application Mapping (SAM, paper Section IV.A).
+//
+// Given one application's threads and an equal-sized set of candidate tiles,
+// find the thread→tile assignment minimizing the application's APL. Because
+// each thread's latency contribution depends only on its own tile (the L2 is
+// address-hashed over the whole chip and the MC target is fixed per tile),
+// this is a linear assignment problem with cost_{jk} = c_j·TC(k) + m_j·TM(k)
+// (eq. 13), solved exactly by the Hungarian method in O(N_a³).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "latency/model.h"
+#include "workload/workload.h"
+
+namespace nocmap {
+
+/// Result of a SAM solve: tiles[j] is the tile of the j-th input thread,
+/// and apl is the minimized application APL (eq. 12).
+struct SamResult {
+  std::vector<TileId> tiles;
+  double apl = 0.0;
+};
+
+/// Optimally assigns `threads` to `tiles` (equal sizes required).
+SamResult solve_sam(std::span<const ThreadProfile> threads,
+                    std::span<const TileId> tiles,
+                    const TileLatencyModel& model);
+
+}  // namespace nocmap

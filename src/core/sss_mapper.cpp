@@ -1,0 +1,136 @@
+#include "core/sss_mapper.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/evaluator.h"
+#include "core/sam.h"
+
+namespace nocmap {
+
+std::vector<TileId> SortSelectSwapMapper::sorted_tiles(
+    const TileLatencyModel& model) {
+  std::vector<TileId> tiles(model.mesh().num_tiles());
+  std::iota(tiles.begin(), tiles.end(), TileId{0});
+  std::stable_sort(tiles.begin(), tiles.end(), [&](TileId a, TileId b) {
+    return model.tc(a) < model.tc(b);
+  });
+  return tiles;
+}
+
+Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
+  NOCMAP_REQUIRE(options_.window_size >= 2, "window size must be >= 2");
+  const Workload& wl = problem.workload();
+  const TileLatencyModel& model = problem.model();
+  const std::size_t n = problem.num_threads();
+
+  // ---- Stage 1: sort tiles by cache APL.
+  const std::vector<TileId> sorted = sorted_tiles(model);
+
+  // ---- Stage 2: per application, select evenly spread tiles from the
+  // remaining list and SAM-assign its threads to them.
+  Mapping mapping;
+  mapping.thread_to_tile.resize(n);
+  std::vector<TileId> avail = sorted;
+  for (std::size_t i = 0; i < wl.num_applications(); ++i) {
+    const std::size_t dn = wl.last_thread(i) - wl.first_thread(i);
+    NOCMAP_ASSERT(dn <= avail.size());
+
+    // Middle of each of dn equal-length sections of the remaining list.
+    // Indices are strictly increasing because |avail|/dn >= 1.
+    std::vector<std::size_t> picks(dn);
+    for (std::size_t s = 0; s < dn; ++s) {
+      picks[s] = static_cast<std::size_t>(
+          (static_cast<double>(s) + 0.5) * static_cast<double>(avail.size()) /
+          static_cast<double>(dn));
+    }
+    std::vector<TileId> chosen(dn);
+    for (std::size_t s = 0; s < dn; ++s) chosen[s] = avail[picks[s]];
+
+    const auto threads =
+        std::span(wl.threads()).subspan(wl.first_thread(i), dn);
+    const SamResult sam = solve_sam(threads, chosen, model);
+    for (std::size_t t = 0; t < dn; ++t) {
+      mapping.thread_to_tile[wl.first_thread(i) + t] = sam.tiles[t];
+    }
+
+    // Remove the chosen tiles (descending index order keeps picks valid).
+    for (std::size_t s = dn; s-- > 0;) {
+      avail.erase(avail.begin() +
+                  static_cast<std::ptrdiff_t>(picks[s]));
+    }
+  }
+
+  // ---- Stage 3: greedy sliding-window permutation swaps over the sorted
+  // tile list.
+  if (options_.window_swaps) {
+    MappingEvaluator eval(problem, std::move(mapping));
+    const std::size_t w = options_.window_size;
+    const std::size_t max_step =
+        options_.max_step > 0 ? options_.max_step : std::max<std::size_t>(
+                                                        n / 4, 1);
+
+    std::vector<std::size_t> perm_idx(w);
+    std::vector<TileId> window_tiles(w);
+    std::vector<std::size_t> window_threads(w);
+    std::vector<TileId> permuted(w);
+    std::vector<TileId> best_tiles(w);
+
+    for (std::size_t step = 1; step <= max_step; ++step) {
+      if ((w - 1) * step >= n) break;  // window no longer fits
+      const std::size_t last_start = n - (w - 1) * step;
+      for (std::size_t start = 0; start < last_start; ++start) {
+        for (std::size_t x = 0; x < w; ++x) {
+          window_tiles[x] = sorted[start + x * step];
+          window_threads[x] = eval.thread_on(window_tiles[x]);
+        }
+
+        // Baseline = identity permutation of the window.
+        double best_obj = eval.objective();
+        best_tiles = window_tiles;
+        bool improved = false;
+
+        std::iota(perm_idx.begin(), perm_idx.end(), std::size_t{0});
+        while (std::next_permutation(perm_idx.begin(), perm_idx.end())) {
+          for (std::size_t x = 0; x < w; ++x) {
+            permuted[x] = window_tiles[perm_idx[x]];
+          }
+          eval.apply_group(window_threads, permuted);
+          const double obj = eval.objective();
+          if (obj < best_obj) {
+            best_obj = obj;
+            best_tiles = permuted;
+            improved = true;
+          }
+          eval.apply_group(window_threads, window_tiles);  // revert
+        }
+
+        if (improved) {
+          eval.apply_group(window_threads, best_tiles);
+        }
+      }
+    }
+    mapping = eval.mapping();
+  }
+
+  // ---- Stage 4: final SAM repair inside each application.
+  if (options_.final_sam) {
+    for (std::size_t i = 0; i < wl.num_applications(); ++i) {
+      const std::size_t lo = wl.first_thread(i);
+      const std::size_t dn = wl.last_thread(i) - lo;
+      std::vector<TileId> tiles(dn);
+      for (std::size_t t = 0; t < dn; ++t) {
+        tiles[t] = mapping.thread_to_tile[lo + t];
+      }
+      const auto threads = std::span(wl.threads()).subspan(lo, dn);
+      const SamResult sam = solve_sam(threads, tiles, model);
+      for (std::size_t t = 0; t < dn; ++t) {
+        mapping.thread_to_tile[lo + t] = sam.tiles[t];
+      }
+    }
+  }
+
+  return mapping;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,37 @@
+#include "latency/model.h"
+
+namespace nocmap {
+
+TileLatencyModel::TileLatencyModel(const Mesh& mesh,
+                                   const LatencyParams& params)
+    : mesh_(mesh), params_(params) {
+  const std::size_t n = mesh_.num_tiles();
+  hc_.resize(n);
+  hm_.resize(n);
+  tc_.resize(n);
+  tm_.resize(n);
+
+  const double per_hop = params_.per_hop();
+  const double off_tile_probability =
+      static_cast<double>(n - 1) / static_cast<double>(n);
+
+  for (TileId k = 0; k < n; ++k) {
+    hc_[k] = mesh_.avg_hops_to_all(k);
+    hm_[k] = static_cast<double>(mesh_.hops_to_nearest_mc(k));
+    // Cache: destination bank is uniform over all N tiles; serialization is
+    // paid only when the bank is a different tile.
+    tc_[k] = hc_[k] * per_hop + params_.td_s * off_tile_probability;
+    // Memory: destination MC is deterministic; serialization unless this
+    // tile hosts the MC itself.
+    tm_[k] = hm_[k] * per_hop + (mesh_.is_mc(k) ? 0.0 : params_.td_s);
+  }
+}
+
+double packet_latency(const Mesh& mesh, const LatencyParams& params,
+                      TileId src, TileId dst) {
+  if (src == dst) return 0.0;
+  return static_cast<double>(mesh.hops(src, dst)) * params.per_hop() +
+         params.td_s;
+}
+
+}  // namespace nocmap

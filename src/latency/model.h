@@ -1,0 +1,92 @@
+// Analytic per-tile packet-latency model (paper Section II.C).
+//
+// A packet's service latency is
+//     TD = H · (td_r + td_w + td_q) + td_s                       (eq. 2)
+// where H is the XY-routing hop count, td_r/td_w are the per-hop router and
+// wire delays, td_q is the average per-hop queuing delay (0–1 cycles at the
+// loads studied), and td_s is the serialization latency (packet length /
+// channel bandwidth). Serialization is skipped when source == destination
+// (no network traversal).
+//
+// Two per-tile latency arrays summarize the chip:
+//   TC(k): expected latency of a cache packet originating at tile k. Cache
+//          banks are address-hashed uniformly over all N tiles (eq. 3), so
+//          TC(k) = HC_k · per_hop + td_s · (N-1)/N — the (N-1)/N factor is
+//          the probability that the hashed bank is a *different* tile. This
+//          factor is pinned by the paper's own Figure-5 arithmetic
+//          (10.3375 / 11.5375 cycles), which our tests reproduce exactly.
+//   TM(k): latency of a memory-controller request from tile k to its nearest
+//          MC (eq. 4); serialization applies unless tile k itself hosts the
+//          MC.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topology/mesh.h"
+
+namespace nocmap {
+
+/// Timing parameters of eq. 2, in cycles.
+struct LatencyParams {
+  double td_r = 3.0;  ///< per-hop router pipeline delay (3-stage router)
+  double td_w = 1.0;  ///< per-hop link/wire delay
+  double td_q = 0.3;  ///< average per-hop queuing delay (calibrated, §II.C)
+  double td_s = 1.8;  ///< average serialization delay over the packet mix
+
+  /// Combined per-hop delay td_r + td_w + td_q.
+  double per_hop() const { return td_r + td_w + td_q; }
+};
+
+/// Serialization parameters for deriving an average td_s from a packet mix.
+/// With 128-bit links, a 16-bit short packet is 1 flit and a 64-byte-payload
+/// long packet is 5 flits (paper Section V.A); serialization in cycles
+/// equals the flit count.
+struct PacketMix {
+  double short_flits = 1.0;
+  double long_flits = 5.0;
+  /// Fraction of packets that are short (requests vs. data replies).
+  double short_fraction = 0.8;
+
+  double average_serialization() const {
+    return short_fraction * short_flits + (1.0 - short_fraction) * long_flits;
+  }
+};
+
+/// Per-tile latency arrays for one chip: the {TC(k)} and {TM(k)} of the
+/// problem statement (Section III.B). Immutable after construction.
+class TileLatencyModel {
+ public:
+  TileLatencyModel(const Mesh& mesh, const LatencyParams& params);
+
+  const Mesh& mesh() const { return mesh_; }
+  const LatencyParams& params() const { return params_; }
+
+  /// Expected cache-packet latency from tile k (cycles).
+  double tc(TileId k) const { return tc_[k]; }
+  /// Memory-request latency from tile k to its nearest MC (cycles).
+  double tm(TileId k) const { return tm_[k]; }
+
+  std::span<const double> tc_array() const { return tc_; }
+  std::span<const double> tm_array() const { return tm_; }
+
+  /// Average hop count HC_k of eq. 3 (exposed for Fig. 3 and validation).
+  double hc(TileId k) const { return hc_[k]; }
+  /// Nearest-MC hop count HM_k of eq. 4.
+  double hm(TileId k) const { return hm_[k]; }
+
+ private:
+  Mesh mesh_;
+  LatencyParams params_;
+  std::vector<double> hc_;
+  std::vector<double> hm_;
+  std::vector<double> tc_;
+  std::vector<double> tm_;
+};
+
+/// Latency of one specific packet per eq. 2 (used by tests and the netsim
+/// validation example to compare against measured values).
+double packet_latency(const Mesh& mesh, const LatencyParams& params,
+                      TileId src, TileId dst);
+
+}  // namespace nocmap

@@ -1,0 +1,215 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace nocmap {
+
+Network::Network(const Mesh& mesh, const NetworkConfig& config)
+    : mesh_(&mesh), config_(config) {
+  NOCMAP_REQUIRE(!mesh.is_torus(),
+                 "the cycle-level simulator models meshes only (the torus "
+                 "is an analytic extension; see ext_torus)");
+  NOCMAP_REQUIRE(
+      config.routing != RoutingAlgo::kO1Turn || config.vcs_per_port >= 2,
+      "O1TURN needs at least two VCs to partition between sub-routes");
+  const std::size_t n = mesh.num_tiles();
+  routers_.reserve(n);
+  for (TileId t = 0; t < n; ++t) routers_.emplace_back(t, mesh, config);
+  nis_.resize(n);
+  for (auto& ni : nis_) {
+    ni.credits.assign(config.vcs_per_port, config.buffer_depth);
+  }
+  // Horizon: all internal delays are <= max(link_latency, 1) + 1.
+  ring_.resize(static_cast<std::size_t>(
+      std::max<std::uint32_t>(config.link_latency, 1) + 2));
+}
+
+Network::Bucket& Network::bucket_at(Cycle cycle) {
+  NOCMAP_ASSERT(cycle >= now_ && cycle - now_ < ring_.size());
+  return ring_[cycle % ring_.size()];
+}
+
+TileId Network::neighbor(TileId tile, PortDir dir) const {
+  const TileCoord c = mesh_->coord_of(tile);
+  switch (dir) {
+    case PortDir::kNorth:
+      NOCMAP_REQUIRE(c.row > 0, "no north neighbor");
+      return mesh_->tile_at(c.row - 1, c.col);
+    case PortDir::kSouth:
+      NOCMAP_REQUIRE(c.row + 1 < mesh_->rows(), "no south neighbor");
+      return mesh_->tile_at(c.row + 1, c.col);
+    case PortDir::kEast:
+      NOCMAP_REQUIRE(c.col + 1 < mesh_->cols(), "no east neighbor");
+      return mesh_->tile_at(c.row, c.col + 1);
+    case PortDir::kWest:
+      NOCMAP_REQUIRE(c.col > 0, "no west neighbor");
+      return mesh_->tile_at(c.row, c.col - 1);
+    case PortDir::kLocal:
+      break;
+  }
+  throw Error("local port has no neighbor");
+}
+
+void Network::inject_packet(const PacketInfo& info) {
+  NOCMAP_REQUIRE(info.src != info.dst,
+                 "local accesses bypass the network (traffic layer bug)");
+  NOCMAP_REQUIRE(info.src < mesh_->num_tiles() && info.dst < mesh_->num_tiles(),
+                 "packet endpoint out of range");
+  NOCMAP_REQUIRE(info.flits >= 1, "packet must have at least one flit");
+  NOCMAP_REQUIRE(!packets_.contains(info.id), "duplicate packet id");
+
+  packets_.emplace(info.id, info);
+  Ni& ni = nis_[info.src];
+  // Sub-route choice: fixed by the routing algorithm, or (O1TURN) a
+  // deterministic balanced pick keyed on the packet id.
+  bool yx = false;
+  switch (config_.routing) {
+    case RoutingAlgo::kXY: yx = false; break;
+    case RoutingAlgo::kYX: yx = true; break;
+    case RoutingAlgo::kO1Turn: yx = (splitmix64(info.id) & 1u) != 0; break;
+  }
+  for (std::uint32_t f = 0; f < info.flits; ++f) {
+    Flit flit;
+    flit.packet = info.id;
+    flit.index = f;
+    flit.is_head = (f == 0);
+    flit.is_tail = (f + 1 == info.flits);
+    flit.yx = yx;
+    flit.dst = info.dst;
+    ni.source_queue.push_back(flit);
+  }
+}
+
+void Network::deliver_due_events() {
+  Bucket& bucket = ring_[now_ % ring_.size()];
+  for (const auto& pf : bucket.flits) {
+    routers_[pf.router].receive_flit(pf.port, pf.vc, pf.flit, now_);
+  }
+  for (const auto& pc : bucket.credits) {
+    routers_[pc.router].receive_credit(pc.port, pc.vc);
+  }
+  for (const auto& nc : bucket.ni_credits) {
+    Ni& ni = nis_[nc.router];
+    NOCMAP_ASSERT(ni.credits[nc.vc] < config_.buffer_depth);
+    ++ni.credits[nc.vc];
+  }
+  for (const auto& sink : bucket.sinks) {
+    process_sink(sink);
+  }
+  bucket.flits.clear();
+  bucket.credits.clear();
+  bucket.ni_credits.clear();
+  bucket.sinks.clear();
+}
+
+void Network::inject_from_nis() {
+  for (TileId t = 0; t < nis_.size(); ++t) {
+    Ni& ni = nis_[t];
+    if (ni.source_queue.empty()) continue;
+    const Flit& front = ni.source_queue.front();
+
+    if (front.is_head && !ni.vc_held) {
+      // Claim a local-input VC with available credit for the new packet,
+      // restricted to the packet's sub-route class.
+      std::uint32_t lo = 0;
+      std::uint32_t hi = config_.vcs_per_port;
+      config_.vc_range(front.yx, lo, hi);
+      for (std::uint32_t v = lo; v < hi; ++v) {
+        if (ni.credits[v] > 0) {
+          ni.vc_held = true;
+          ni.held_vc = v;
+          break;
+        }
+      }
+    }
+    if (!ni.vc_held || ni.credits[ni.held_vc] == 0) continue;
+
+    --ni.credits[ni.held_vc];
+    routers_[t].receive_flit(PortDir::kLocal, ni.held_vc, front, now_);
+    ++flits_injected_;
+    if (front.is_tail) ni.vc_held = false;
+    ni.source_queue.pop_front();
+  }
+}
+
+void Network::tick_routers() {
+  for (TileId t = 0; t < routers_.size(); ++t) {
+    departures_scratch_.clear();
+    routers_[t].tick(now_, departures_scratch_);
+    for (const Departure& dep : departures_scratch_) {
+      // Credit for the freed input buffer slot, one cycle upstream.
+      if (dep.in_port == PortDir::kLocal) {
+        bucket_at(now_ + 1).ni_credits.push_back({t, PortDir::kLocal,
+                                                  dep.in_vc});
+      } else {
+        const TileId up = neighbor(t, dep.in_port);
+        bucket_at(now_ + 1).credits.push_back(
+            {up, opposite(dep.in_port), dep.in_vc});
+      }
+      // The flit itself.
+      if (dep.out_port == PortDir::kLocal) {
+        bucket_at(now_ + 1).sinks.push_back({t, dep.out_vc, dep.flit});
+      } else {
+        const TileId down = neighbor(t, dep.out_port);
+        Flit forwarded = dep.flit;
+        ++forwarded.hops;  // distance credit for the arbiter
+        bucket_at(now_ + config_.link_latency)
+            .flits.push_back(
+                {down, opposite(dep.out_port), dep.out_vc, forwarded});
+        ++link_traversals_;
+      }
+    }
+  }
+}
+
+void Network::process_sink(const PendingSink& sink) {
+  Ni& ni = nis_[sink.tile];
+  ++flits_ejected_;
+  // The NI consumes the flit immediately; recredit the router's local
+  // output VC so ejection never stalls.
+  routers_[sink.tile].receive_credit(PortDir::kLocal, sink.out_vc);
+  const std::uint32_t seen = ++ni.sink_flits[sink.flit.packet];
+  if (!sink.flit.is_tail) return;
+
+  auto it = packets_.find(sink.flit.packet);
+  NOCMAP_REQUIRE(it != packets_.end(), "tail for unknown packet");
+  NOCMAP_REQUIRE(seen == it->second.flits,
+                 "tail ejected before all body flits");
+  NOCMAP_REQUIRE(it->second.dst == sink.tile, "packet ejected at wrong tile");
+  ejections_.push_back({it->second, now_});
+  ni.sink_flits.erase(sink.flit.packet);
+  packets_.erase(it);
+}
+
+void Network::step() {
+  deliver_due_events();
+  inject_from_nis();
+  tick_routers();
+  ++now_;
+}
+
+std::vector<Ejection> Network::take_ejections() {
+  return std::exchange(ejections_, {});
+}
+
+const ActivityCounters& Network::router_activity(TileId t) const {
+  NOCMAP_REQUIRE(t < routers_.size(), "router id out of range");
+  return routers_[t].activity();
+}
+
+ActivityCounters Network::total_activity() const {
+  ActivityCounters total;
+  for (const auto& r : routers_) total += r.activity();
+  total.link_traversals = link_traversals_;
+  return total;
+}
+
+void Network::reset_activity() {
+  for (auto& r : routers_) r.reset_activity();
+  link_traversals_ = 0;
+}
+
+}  // namespace nocmap

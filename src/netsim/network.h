@@ -1,0 +1,121 @@
+// Whole-network cycle-level model: routers, links, network interfaces.
+//
+// The Network owns one Router and one network interface (NI) per tile.
+// Traffic enters through NI source queues (open-loop injection: queues are
+// unbounded, so offered load is never throttled by the network — matching
+// trace-driven evaluation), moves through the credit-based wormhole fabric,
+// and is consumed by NI sinks. The caller drives the clock via step() and
+// drains ejection records; packet payload semantics (cache/memory
+// transactions, replies) live in traffic.h on top of this layer.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/router.h"
+
+namespace nocmap {
+
+/// A packet that fully left the network (its tail flit reached the NI sink).
+struct Ejection {
+  PacketInfo info;
+  Cycle ejected = 0;
+
+  /// End-to-end network latency in cycles: source-queue entry to tail
+  /// ejection (includes source queuing and serialization).
+  Cycle latency() const { return ejected - info.created; }
+};
+
+class Network {
+ public:
+  Network(const Mesh& mesh, const NetworkConfig& config);
+
+  const Mesh& mesh() const { return *mesh_; }
+  const NetworkConfig& config() const { return config_; }
+  Cycle now() const { return now_; }
+
+  /// Queues a packet for injection at info.src. Requires src != dst (local
+  /// accesses never enter the network; handle them in the traffic layer).
+  void inject_packet(const PacketInfo& info);
+
+  /// Advances the network by one cycle.
+  void step();
+
+  /// Ejections completed since the last call (cleared by the call).
+  std::vector<Ejection> take_ejections();
+
+  /// Packets currently inside the network or its source queues.
+  std::size_t packets_in_flight() const { return packets_.size(); }
+  /// Flits injected into / ejected from the fabric so far (conservation).
+  std::uint64_t flits_injected() const { return flits_injected_; }
+  std::uint64_t flits_ejected() const { return flits_ejected_; }
+
+  /// Sum of router activity counters (plus link traversals counted here).
+  ActivityCounters total_activity() const;
+  /// One router's own counters (tests / per-router utilization studies).
+  const ActivityCounters& router_activity(TileId t) const;
+  void reset_activity();
+
+ private:
+  struct Ni {
+    std::deque<Flit> source_queue;
+    // Credit view of the router's local input VCs.
+    std::vector<std::uint32_t> credits;
+    bool vc_held = false;
+    std::uint32_t held_vc = 0;
+    // Sink-side reassembly: flits received for the current packets.
+    std::unordered_map<PacketId, std::uint32_t> sink_flits;
+  };
+
+  struct PendingFlit {
+    TileId router;
+    PortDir port;
+    std::uint32_t vc;
+    Flit flit;
+  };
+  struct PendingCredit {
+    TileId router;
+    PortDir port;
+    std::uint32_t vc;
+  };
+  struct PendingSink {
+    TileId tile;
+    std::uint32_t out_vc;  ///< local output VC to recredit on consumption
+    Flit flit;
+  };
+  struct Bucket {
+    std::vector<PendingFlit> flits;
+    std::vector<PendingCredit> credits;
+    std::vector<PendingCredit> ni_credits;  // port unused; router==tile
+    std::vector<PendingSink> sinks;
+  };
+
+  Bucket& bucket_at(Cycle cycle);
+  TileId neighbor(TileId tile, PortDir dir) const;
+
+  void deliver_due_events();
+  void inject_from_nis();
+  void tick_routers();
+  void process_sink(const PendingSink& sink);
+
+  const Mesh* mesh_;
+  NetworkConfig config_;
+  Cycle now_ = 0;
+
+  std::vector<Router> routers_;
+  std::vector<Ni> nis_;
+  std::unordered_map<PacketId, PacketInfo> packets_;
+  std::vector<Ejection> ejections_;
+
+  // Ring of future-event buckets; horizon covers the largest network-
+  // internal delay (link latency / credit return).
+  std::vector<Bucket> ring_;
+
+  std::vector<Departure> departures_scratch_;
+  std::uint64_t flits_injected_ = 0;
+  std::uint64_t flits_ejected_ = 0;
+  std::uint64_t link_traversals_ = 0;
+};
+
+}  // namespace nocmap

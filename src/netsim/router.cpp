@@ -1,0 +1,223 @@
+#include "netsim/router.h"
+
+#include <algorithm>
+
+namespace nocmap {
+
+PortDir opposite(PortDir d) {
+  switch (d) {
+    case PortDir::kNorth: return PortDir::kSouth;
+    case PortDir::kEast: return PortDir::kWest;
+    case PortDir::kSouth: return PortDir::kNorth;
+    case PortDir::kWest: return PortDir::kEast;
+    case PortDir::kLocal: return PortDir::kLocal;
+  }
+  return PortDir::kLocal;
+}
+
+Router::Router(TileId id, const Mesh& mesh, const NetworkConfig& config)
+    : id_(id), mesh_(&mesh), config_(config),
+      arbiter_rng_(splitmix64(config.arbitration_seed) ^
+                   splitmix64(static_cast<std::uint64_t>(id) + 1)) {
+  NOCMAP_REQUIRE(config_.vcs_per_port >= 1, "need at least one VC");
+  NOCMAP_REQUIRE(kNumPorts * config_.vcs_per_port <= 64,
+                 "arbitration candidate buffer supports <= 64 VC slots");
+  NOCMAP_REQUIRE(config_.buffer_depth >= 1, "need at least one buffer slot");
+  inputs_.resize(kNumPorts * config_.vcs_per_port);
+  outputs_.resize(kNumPorts * config_.vcs_per_port);
+  // Downstream input buffers start empty: full credit everywhere.
+  for (auto& ovc : outputs_) ovc.credits = config_.buffer_depth;
+}
+
+Router::InputVc& Router::in_vc(PortDir port, std::uint32_t vc) {
+  return inputs_[port_index(port) * config_.vcs_per_port + vc];
+}
+
+const Router::InputVc& Router::in_vc(PortDir port, std::uint32_t vc) const {
+  return inputs_[port_index(port) * config_.vcs_per_port + vc];
+}
+
+Router::OutputVc& Router::out_vc(PortDir port, std::uint32_t vc) {
+  return outputs_[port_index(port) * config_.vcs_per_port + vc];
+}
+
+bool Router::can_accept(PortDir port, std::uint32_t vc) const {
+  return in_vc(port, vc).buffer.size() < config_.buffer_depth;
+}
+
+void Router::receive_flit(PortDir port, std::uint32_t vc, const Flit& flit,
+                          Cycle now) {
+  InputVc& ivc = in_vc(port, vc);
+  NOCMAP_REQUIRE(ivc.buffer.size() < config_.buffer_depth,
+                 "input VC buffer overflow (credit protocol violated)");
+  Flit stored = flit;
+  stored.enqueued = now;
+  ivc.buffer.push_back(stored);
+  ++activity_.buffer_writes;
+}
+
+void Router::receive_credit(PortDir port, std::uint32_t vc) {
+  OutputVc& ovc = out_vc(port, vc);
+  NOCMAP_REQUIRE(ovc.credits < config_.buffer_depth,
+                 "credit overflow (credit protocol violated)");
+  ++ovc.credits;
+}
+
+PortDir Router::route(TileId dst, bool yx) const {
+  const TileCoord here = mesh_->coord_of(id_);
+  const TileCoord there = mesh_->coord_of(dst);
+  if (yx) {
+    // Y (rows) first, then X (columns).
+    if (there.row > here.row) return PortDir::kSouth;
+    if (there.row < here.row) return PortDir::kNorth;
+    if (there.col > here.col) return PortDir::kEast;
+    if (there.col < here.col) return PortDir::kWest;
+    return PortDir::kLocal;
+  }
+  // Dimension order: X (columns) first, then Y (rows).
+  if (there.col > here.col) return PortDir::kEast;
+  if (there.col < here.col) return PortDir::kWest;
+  if (there.row > here.row) return PortDir::kSouth;
+  if (there.row < here.row) return PortDir::kNorth;
+  return PortDir::kLocal;
+}
+
+void Router::tick(Cycle now, std::vector<Departure>& out) {
+  const std::uint32_t vcs = config_.vcs_per_port;
+
+  // --- Route computation + VC allocation for head flits at buffer heads.
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (std::uint32_t v = 0; v < vcs; ++v) {
+      InputVc& ivc = in_vc(static_cast<PortDir>(p), v);
+      if (ivc.buffer.empty()) continue;
+      const Flit& head = ivc.buffer.front();
+      if (!head.is_head) continue;  // body/tail: route already held
+      if (!ivc.route_valid) {
+        ivc.out_port = route(head.dst, head.yx);
+        ivc.route_valid = true;
+      }
+      if (!ivc.out_vc_valid) {
+        // Claim the lowest-index free downstream VC within the flit's
+        // sub-route class (O1TURN partitions VCs; see NetworkConfig).
+        std::uint32_t lo = 0;
+        std::uint32_t hi = vcs;
+        config_.vc_range(head.yx, lo, hi);
+        for (std::uint32_t ov = lo; ov < hi; ++ov) {
+          OutputVc& ovc = out_vc(ivc.out_port, ov);
+          if (!ovc.allocated) {
+            ovc.allocated = true;
+            ivc.out_vc = ov;
+            ivc.out_vc_valid = true;
+            ++activity_.vc_allocations;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Separable switch allocation: each output port grants one input VC,
+  // each input port issues at most one flit.
+  std::array<bool, kNumPorts> input_busy{};
+  for (std::size_t op = 0; op < kNumPorts; ++op) {
+    const std::size_t slots = kNumPorts * vcs;
+    std::uint32_t& rr = rr_pointer_[op];
+
+    auto eligible = [&](std::size_t slot) -> bool {
+      const auto ip = static_cast<PortDir>(slot / vcs);
+      const auto iv = static_cast<std::uint32_t>(slot % vcs);
+      if (input_busy[port_index(ip)]) return false;
+      const InputVc& ivc = in_vc(ip, iv);
+      if (ivc.buffer.empty() || !ivc.route_valid || !ivc.out_vc_valid) {
+        return false;
+      }
+      if (port_index(ivc.out_port) != op) return false;
+      if (ivc.buffer.front().enqueued + config_.router_pipeline > now) {
+        return false;
+      }
+      return outputs_[op * vcs + ivc.out_vc].credits > 0;
+    };
+
+    // Pick the winner slot per the configured policy.
+    std::size_t winner = slots;  // sentinel: no grant
+    if (config_.arbitration == Arbitration::kRoundRobin) {
+      for (std::size_t offset = 0; offset < slots; ++offset) {
+        const std::size_t slot = (rr + offset) % slots;
+        if (eligible(slot)) {
+          winner = slot;
+          break;
+        }
+      }
+    } else {
+      // Distance-weighted (PDBA-lite): sample among the eligible
+      // candidates with probability proportional to 1 + hops travelled,
+      // equalizing service between short- and long-haul packets.
+      double total_weight = 0.0;
+      std::array<std::size_t, 64> candidates{};  // kNumPorts * vcs <= 64
+      std::array<double, 64> weights{};
+      std::size_t count = 0;
+      for (std::size_t slot = 0; slot < slots && count < 64; ++slot) {
+        if (!eligible(slot)) continue;
+        const auto ip = static_cast<PortDir>(slot / vcs);
+        const auto iv = static_cast<std::uint32_t>(slot % vcs);
+        const double w =
+            1.0 + static_cast<double>(in_vc(ip, iv).buffer.front().hops);
+        candidates[count] = slot;
+        weights[count] = w;
+        total_weight += w;
+        ++count;
+      }
+      if (count > 0) {
+        double pick = arbiter_rng_.uniform(0.0, total_weight);
+        winner = candidates[count - 1];
+        for (std::size_t c = 0; c < count; ++c) {
+          pick -= weights[c];
+          if (pick <= 0.0) {
+            winner = candidates[c];
+            break;
+          }
+        }
+      }
+    }
+    if (winner == slots) continue;
+
+    const auto ip = static_cast<PortDir>(winner / vcs);
+    const auto iv = static_cast<std::uint32_t>(winner % vcs);
+    InputVc& ivc = in_vc(ip, iv);
+    const Flit& flit = ivc.buffer.front();
+    OutputVc& ovc = out_vc(ivc.out_port, ivc.out_vc);
+
+    // Grant: switch traversal.
+    --ovc.credits;
+    input_busy[port_index(ip)] = true;
+    ++activity_.sw_arbitrations;
+    ++activity_.buffer_reads;
+    ++activity_.crossbar_traversals;
+    activity_.queue_wait_cycles +=
+        now - (flit.enqueued + config_.router_pipeline);
+
+    Departure dep;
+    dep.out_port = ivc.out_port;
+    dep.out_vc = ivc.out_vc;
+    dep.in_port = ip;
+    dep.in_vc = iv;
+    dep.flit = flit;
+    ivc.buffer.pop_front();
+
+    if (dep.flit.is_tail) {
+      ovc.allocated = false;
+      ivc.route_valid = false;
+      ivc.out_vc_valid = false;
+    }
+    out.push_back(dep);
+    rr = static_cast<std::uint32_t>((winner + 1) % slots);
+  }
+}
+
+std::size_t Router::buffered_flits() const {
+  std::size_t total = 0;
+  for (const auto& ivc : inputs_) total += ivc.buffer.size();
+  return total;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,121 @@
+// Canonical 3-stage credit-based wormhole virtual-channel router
+// (paper Table 2; substitution for Garnet's router model).
+//
+// Micro-architecture modelled per cycle:
+//  * Input units: per input port, per VC, a FIFO flit buffer of fixed depth.
+//    A VC holds one packet at a time (allocated head → tail).
+//  * Route computation: XY dimension-order, performed when a head flit
+//    reaches the buffer head (look-ahead routing is folded into the fixed
+//    3-cycle pipeline latency).
+//  * VC allocation: a head flit claims a free VC of the downstream input
+//    port (lowest-index free VC wins).
+//  * Switch allocation: separable round-robin — each output port grants one
+//    input VC per cycle among those with an eligible flit, an allocated
+//    output VC, and a downstream credit; each input port sends at most one
+//    flit per cycle through the crossbar.
+//  * Switch traversal: the granted flit leaves this cycle; the network
+//    delivers it to the neighbour after the link latency and returns a
+//    credit upstream.
+//
+// The 3-stage pipeline is modelled as a minimum residence time: a flit that
+// entered an input buffer at cycle t is eligible for switch allocation from
+// t + router_pipeline.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "netsim/types.h"
+#include "util/rng.h"
+
+namespace nocmap {
+
+/// Mesh router ports. kLocal connects to the tile's network interface.
+enum class PortDir : std::uint8_t {
+  kNorth = 0,
+  kEast = 1,
+  kSouth = 2,
+  kWest = 3,
+  kLocal = 4,
+};
+inline constexpr std::size_t kNumPorts = 5;
+
+inline std::size_t port_index(PortDir d) { return static_cast<std::size_t>(d); }
+
+/// Opposite direction (the input port a flit arrives on after traversing a
+/// link out of `d`).
+PortDir opposite(PortDir d);
+
+/// A flit leaving a router this cycle.
+struct Departure {
+  PortDir out_port = PortDir::kLocal;
+  std::uint32_t out_vc = 0;
+  PortDir in_port = PortDir::kLocal;  ///< where it came from (credit return)
+  std::uint32_t in_vc = 0;
+  Flit flit;
+};
+
+class Router {
+ public:
+  Router(TileId id, const Mesh& mesh, const NetworkConfig& config);
+
+  TileId id() const { return id_; }
+
+  /// True if the input VC has buffer space for one more flit.
+  bool can_accept(PortDir port, std::uint32_t vc) const;
+
+  /// Deposits a flit into an input VC buffer at cycle `now`.
+  /// Precondition: can_accept(port, vc).
+  void receive_flit(PortDir port, std::uint32_t vc, const Flit& flit,
+                    Cycle now);
+
+  /// Returns one credit to the output unit (port, vc): a downstream buffer
+  /// slot was freed.
+  void receive_credit(PortDir port, std::uint32_t vc);
+
+  /// Performs VC allocation + switch allocation + switch traversal for one
+  /// cycle; appends departures to `out`. The network routes each departure
+  /// over the corresponding link and returns the credit upstream.
+  void tick(Cycle now, std::vector<Departure>& out);
+
+  const ActivityCounters& activity() const { return activity_; }
+  void reset_activity() { activity_ = {}; }
+
+  /// Total flits currently buffered (drain/conservation checks).
+  std::size_t buffered_flits() const;
+
+ private:
+  struct InputVc {
+    std::deque<Flit> buffer;
+    bool route_valid = false;
+    PortDir out_port = PortDir::kLocal;
+    bool out_vc_valid = false;
+    std::uint32_t out_vc = 0;
+  };
+
+  struct OutputVc {
+    bool allocated = false;
+    std::uint32_t credits = 0;
+  };
+
+  /// Dimension-order route for the flit's destination from this router
+  /// (X-first, or Y-first when the flit carries the YX sub-route).
+  PortDir route(TileId dst, bool yx) const;
+
+  InputVc& in_vc(PortDir port, std::uint32_t vc);
+  const InputVc& in_vc(PortDir port, std::uint32_t vc) const;
+  OutputVc& out_vc(PortDir port, std::uint32_t vc);
+
+  TileId id_;
+  const Mesh* mesh_;
+  NetworkConfig config_;
+  std::vector<InputVc> inputs_;    // [port][vc] flattened
+  std::vector<OutputVc> outputs_;  // [port][vc] flattened
+  std::array<std::uint32_t, kNumPorts> rr_pointer_{};  // per output port
+  Rng arbiter_rng_{0};  // distance-weighted arbitration draws
+  ActivityCounters activity_;
+};
+
+}  // namespace nocmap

@@ -1,0 +1,93 @@
+#include "netsim/sim.h"
+
+#include <algorithm>
+
+namespace nocmap {
+
+SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
+                         const SimConfig& config) {
+  Network net(problem.mesh(), config.network);
+  TrafficEngine traffic(problem, mapping, config.traffic);
+
+  const std::size_t num_apps = problem.num_applications();
+  SimResult result;
+  result.per_app.resize(num_apps);
+  result.per_class.resize(kNumPacketClasses);
+  result.per_app_histogram.reserve(num_apps);
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    result.per_app_histogram.emplace_back(0.0, config.histogram_max,
+                                          config.histogram_bins);
+  }
+
+  const Cycle measure_start = config.warmup_cycles;
+  const Cycle measure_end = config.warmup_cycles + config.measure_cycles;
+
+  std::vector<LocalAccess> locals;
+  auto record = [&](std::size_t app, PacketClass cls, double latency,
+                    Cycle created) {
+    if (created < measure_start || created >= measure_end) return;
+    result.per_app[app].add(latency);
+    result.per_app_histogram[app].add(latency);
+    result.overall.add(latency);
+    result.per_class[static_cast<std::size_t>(cls)].add(latency);
+    ++result.packets_measured;
+  };
+
+  auto drain_ejections = [&](Cycle now) {
+    for (const Ejection& e : net.take_ejections()) {
+      traffic.on_ejection(e, now);
+      record(e.info.app, e.info.cls, static_cast<double>(e.latency()),
+             e.info.created);
+    }
+  };
+
+  // --- Warmup + measurement.
+  for (Cycle cycle = 0; cycle < measure_end; ++cycle) {
+    if (cycle == measure_start) net.reset_activity();
+    locals.clear();
+    traffic.generate(net, cycle, locals);
+    for (const LocalAccess& la : locals) {
+      record(la.app, la.cls, 0.0, cycle);
+      if (cycle >= measure_start && cycle < measure_end) {
+        ++result.local_accesses;
+      }
+    }
+    net.step();
+    drain_ejections(net.now());
+  }
+  result.activity = net.total_activity();
+  result.measured_cycles = config.measure_cycles;
+
+  // --- Drain: stop creating requests, let replies and in-flight packets
+  // finish so no measured packet is censored.
+  traffic.stop_generation();
+  Cycle drained = 0;
+  while ((net.packets_in_flight() > 0 || !traffic.idle()) &&
+         drained < config.max_drain_cycles) {
+    locals.clear();
+    traffic.generate(net, net.now(), locals);  // issues due replies only
+    net.step();
+    drain_ejections(net.now());
+    ++drained;
+  }
+  result.drain_incomplete =
+      net.packets_in_flight() > 0 || !traffic.idle();
+
+  // --- Aggregate metrics.
+  result.apl.resize(num_apps, 0.0);
+  std::vector<double> active;
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    if (result.per_app[a].count() > 0) {
+      result.apl[a] = result.per_app[a].mean();
+      active.push_back(result.apl[a]);
+    }
+  }
+  if (!active.empty()) {
+    result.max_apl = max_value(active);
+    result.dev_apl = stddev_population(active);
+  }
+  result.g_apl = result.overall.mean();
+  return result;
+}
+
+}  // namespace nocmap

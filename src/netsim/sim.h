@@ -1,0 +1,69 @@
+// One-call simulation driver: run a mapping on the cycle-level network and
+// measure what the paper measures — per-application average packet latency,
+// global APL, and the activity counters that feed the power model.
+//
+// Protocol: a warmup window (activity and latency samples discarded), a
+// measurement window, then a drain phase (no new requests; in-flight packets
+// finish so measured packets are not censored).
+#pragma once
+
+#include <vector>
+
+#include "core/problem.h"
+#include "netsim/traffic.h"
+#include "util/stats.h"
+
+namespace nocmap {
+
+struct SimConfig {
+  Cycle warmup_cycles = 5000;
+  Cycle measure_cycles = 100000;
+  /// Safety cap on the drain phase (should never bind at sane loads).
+  Cycle max_drain_cycles = 200000;
+  /// Per-application latency histograms cover [0, histogram_max) cycles
+  /// with histogram_bins bins (tail percentiles; QoS studies).
+  double histogram_max = 400.0;
+  std::size_t histogram_bins = 400;
+  TrafficConfig traffic;
+  NetworkConfig network;
+};
+
+struct SimResult {
+  /// Per-application measured APL (cycles), index-aligned with the
+  /// workload's applications. Zero-traffic applications report 0.
+  std::vector<double> apl;
+  double max_apl = 0.0;
+  double dev_apl = 0.0;
+  double g_apl = 0.0;
+
+  /// Per-application full latency statistics.
+  std::vector<RunningStats> per_app;
+  /// All packets combined.
+  RunningStats overall;
+  /// Per packet class (indexed by PacketClass).
+  std::vector<RunningStats> per_class;
+  /// Per-application latency histograms (tail percentiles). The QoS story
+  /// (paper Section I) cares about worst-case experience, not just means.
+  std::vector<Histogram> per_app_histogram;
+
+  /// p-quantile (0..1) of application `app`'s packet latency.
+  double app_percentile(std::size_t app, double p) const {
+    return per_app_histogram.at(app).percentile(p);
+  }
+
+  /// Fabric activity during the measurement window (for DSENT-lite).
+  ActivityCounters activity;
+  Cycle measured_cycles = 0;
+
+  std::uint64_t packets_measured = 0;
+  std::uint64_t local_accesses = 0;
+  /// True if the drain phase hit its cap with packets still in flight.
+  bool drain_incomplete = false;
+};
+
+/// Runs the full warmup/measure/drain protocol. Deterministic for a fixed
+/// (problem, mapping, config).
+SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
+                         const SimConfig& config);
+
+}  // namespace nocmap

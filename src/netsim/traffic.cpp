@@ -1,0 +1,194 @@
+#include "netsim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nocmap {
+
+TrafficEngine::TrafficEngine(const ObmProblem& problem, const Mapping& mapping,
+                             const TrafficConfig& config)
+    : problem_(&problem), config_(config) {
+  NOCMAP_REQUIRE(mapping.is_valid_permutation(problem.num_threads()),
+                 "traffic engine needs a valid mapping");
+  NOCMAP_REQUIRE(config.injection_scale > 0.0,
+                 "injection scale must be positive");
+  NOCMAP_REQUIRE(
+      config.forward_probability >= 0.0 && config.forward_probability <= 1.0,
+      "forward probability must be in [0,1]");
+  NOCMAP_REQUIRE(!config.bursty || (config.burst_duty > 0.0 &&
+                                    config.burst_duty < 1.0),
+                 "burst duty must be in (0,1)");
+  NOCMAP_REQUIRE(!config.bursty || config.burst_dwell_cycles >= 2.0,
+                 "burst dwell must be at least 2 cycles");
+
+  const Rng base(splitmix64(config.seed) ^ 0x9d3f5c1e2b4a6879ULL);
+  coherence_rng_ = base.fork(0xc0ffee);
+  sources_.resize(problem.num_tiles());
+  thread_tile_.resize(problem.num_threads());
+  const Workload& wl = problem.workload();
+  for (std::size_t j = 0; j < wl.num_threads(); ++j) {
+    const TileId tile = mapping.tile_of(j);
+    thread_tile_[j] = tile;
+    TileSource& src = sources_[tile];
+    src.thread = j;
+    src.app = wl.application_of(j);
+    // Workload rates are requests per kilocycle.
+    src.cache_per_cycle =
+        wl.thread(j).cache_rate / 1000.0 * config.injection_scale;
+    src.memory_per_cycle =
+        wl.thread(j).memory_rate / 1000.0 * config.injection_scale;
+    src.rng = base.fork(j);
+    if (config.bursty) {
+      // Start in the stationary distribution to avoid an all-ON transient.
+      src.burst_on = src.rng.bernoulli(config.burst_duty);
+    }
+  }
+}
+
+void TrafficEngine::emit_request(Network& net, Cycle now, TileSource& src,
+                                 TileId tile, PacketClass cls,
+                                 std::vector<LocalAccess>& locals) {
+  const Mesh& mesh = problem_->mesh();
+  TileId dst = 0;
+  if (cls == PacketClass::kCacheRequest) {
+    // Address-hashed bank: uniform over all tiles, including this one.
+    dst = static_cast<TileId>(
+        src.rng.uniform_u32(static_cast<std::uint32_t>(mesh.num_tiles())));
+  } else {
+    dst = mesh.nearest_mc(tile);
+  }
+
+  if (dst == tile) {
+    // Local access: no packets at all; record request and reply as
+    // zero-latency samples to stay comparable with the analytic average.
+    locals.push_back({cls, src.app, src.thread});
+    locals.push_back({cls == PacketClass::kCacheRequest
+                          ? PacketClass::kCacheReply
+                          : PacketClass::kMemoryReply,
+                      src.app, src.thread});
+    return;
+  }
+
+  PacketInfo info;
+  info.id = next_id_++;
+  info.cls = cls;
+  info.src = tile;
+  info.dst = dst;
+  info.flits = net.config().short_packet_flits;
+  info.app = src.app;
+  info.thread = src.thread;
+  info.created = now;
+  net.inject_packet(info);
+}
+
+void TrafficEngine::generate(Network& net, Cycle now,
+                             std::vector<LocalAccess>& locals) {
+  // Issue follow-ups (replies / forwards) that have finished service.
+  for (auto it = pending_replies_.begin();
+       it != pending_replies_.end() && it->first <= now;
+       it = pending_replies_.erase(it)) {
+    PacketInfo pkt = it->second;
+    pkt.created = now;
+    pkt.flits = pkt.cls == PacketClass::kCacheForward
+                    ? net.config().short_packet_flits
+                    : net.config().long_packet_flits;
+    if (pkt.src == pkt.dst) {
+      // Degenerate follow-up (e.g. owner == requester tile): zero latency.
+      locals.push_back({pkt.cls, pkt.app, pkt.thread});
+      continue;
+    }
+    net.inject_packet(pkt);
+  }
+
+  if (!generating_) return;
+
+  for (TileId tile = 0; tile < sources_.size(); ++tile) {
+    TileSource& src = sources_[tile];
+    double burst_gain = 1.0;
+    if (config_.bursty &&
+        (src.cache_per_cycle > 0.0 || src.memory_per_cycle > 0.0)) {
+      // Two-state Markov modulation: ON at rate/duty, OFF at zero; dwell
+      // times chosen so the long-run mean rate is unchanged.
+      const double t_on = config_.burst_duty * config_.burst_dwell_cycles;
+      const double t_off =
+          (1.0 - config_.burst_duty) * config_.burst_dwell_cycles;
+      if (src.burst_on) {
+        if (src.rng.bernoulli(std::min(1.0, 1.0 / t_on))) {
+          src.burst_on = false;
+        }
+      } else if (src.rng.bernoulli(std::min(1.0, 1.0 / t_off))) {
+        src.burst_on = true;
+      }
+      if (!src.burst_on) continue;
+      burst_gain = 1.0 / config_.burst_duty;
+    }
+
+    for (const auto& [base_rate, cls] :
+         {std::pair{src.cache_per_cycle, PacketClass::kCacheRequest},
+          std::pair{src.memory_per_cycle, PacketClass::kMemoryRequest}}) {
+      const double rate = base_rate * burst_gain;
+      if (rate <= 0.0) continue;
+      // Rates above one request/cycle inject the integer part
+      // deterministically plus a Bernoulli fractional part.
+      auto count = static_cast<std::uint32_t>(rate);
+      if (src.rng.bernoulli(rate - std::floor(rate))) ++count;
+      for (std::uint32_t c = 0; c < count; ++c) {
+        emit_request(net, now, src, tile, cls, locals);
+      }
+    }
+  }
+}
+
+void TrafficEngine::schedule(Cycle due, PacketClass cls, TileId src,
+                             TileId dst, std::size_t app,
+                             std::size_t thread) {
+  PacketInfo pkt;
+  pkt.id = next_id_++;
+  pkt.cls = cls;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.flits = 0;  // filled from the network's packet format at injection
+  pkt.app = app;
+  pkt.thread = thread;
+  pending_replies_.emplace(due, pkt);
+}
+
+void TrafficEngine::on_ejection(const Ejection& ejection, Cycle now) {
+  const PacketInfo& pkt = ejection.info;
+  const TileId requester = thread_tile_[pkt.thread];
+
+  switch (pkt.cls) {
+    case PacketClass::kCacheRequest: {
+      const Cycle due = now + config_.l2_service_latency;
+      if (config_.forward_probability > 0.0 &&
+          coherence_rng_.bernoulli(config_.forward_probability)) {
+        // Line dirty in another private L1: the bank forwards to the owner
+        // tile, which will supply the data (paper Section II.B's
+        // checking/forwarding packets).
+        const auto owner = static_cast<TileId>(coherence_rng_.uniform_u32(
+            static_cast<std::uint32_t>(problem_->num_tiles())));
+        schedule(due, PacketClass::kCacheForward, pkt.dst, owner, pkt.app,
+                 pkt.thread);
+      } else {
+        schedule(due, PacketClass::kCacheReply, pkt.dst, requester, pkt.app,
+                 pkt.thread);
+      }
+      break;
+    }
+    case PacketClass::kCacheForward:
+      // The owner L1 supplies the line to the requester after its lookup.
+      schedule(now + 1, PacketClass::kCacheReply, pkt.dst, requester,
+               pkt.app, pkt.thread);
+      break;
+    case PacketClass::kMemoryRequest:
+      schedule(now + config_.memory_service_latency,
+               PacketClass::kMemoryReply, pkt.dst, requester, pkt.app,
+               pkt.thread);
+      break;
+    case PacketClass::kCacheReply:
+    case PacketClass::kMemoryReply:
+      break;  // transaction complete
+  }
+}
+
+}  // namespace nocmap

@@ -1,0 +1,104 @@
+// Trace-driven traffic generation on top of the Network (substitution for
+// the paper's Simics/GEMS-driven PARSEC traces).
+//
+// Each mapped thread injects, from its tile, two open-loop Bernoulli
+// streams derived from its workload rates: shared-L2 cache requests whose
+// destination bank is uniformly address-hashed over all tiles (Section
+// II.C), and memory requests to the nearest memory controller (proximity
+// principle). A request that hits its own tile never enters the network and
+// is recorded as a zero-latency access, exactly as the analytic model's
+// H = 0 / no-serialization case. When a request ejects at its destination,
+// the serviced reply (5-flit data packet) is scheduled back after the L2 or
+// memory service latency. Optionally, a fraction of cache requests take the
+// coherence forwarding path of Section II.B: bank → owner L1 (short
+// forward) → requester (data reply).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/problem.h"
+#include "netsim/network.h"
+#include "util/rng.h"
+
+namespace nocmap {
+
+struct TrafficConfig {
+  std::uint64_t seed = 1;
+  /// Multiplier applied to workload rates (rates are per kilocycle).
+  double injection_scale = 1.0;
+  std::uint32_t l2_service_latency = 6;      ///< paper Table 2
+  std::uint32_t memory_service_latency = 128;  ///< paper Table 2
+  /// Fraction of cache requests whose line is dirty in another private L1:
+  /// the L2 bank sends a short forward to the owner tile, which supplies
+  /// the data reply to the requester directly (paper Section II.B's
+  /// "checking/forwarding packets"). 0 disables the three-hop chain.
+  double forward_probability = 0.0;
+  /// Bursty (two-state Markov on/off) injection. When enabled, each thread
+  /// alternates between ON phases at rate/duty and OFF phases at zero,
+  /// preserving its mean rate — real applications burst, and bursts stress
+  /// queuing in ways the mean cannot. Disabled (steady Bernoulli) by
+  /// default, matching the analytic model's assumptions.
+  bool bursty = false;
+  double burst_duty = 0.3;          ///< fraction of time in the ON state
+  double burst_dwell_cycles = 200;  ///< mean ON+OFF period length
+};
+
+/// A zero-latency access that never entered the network (src == dst).
+struct LocalAccess {
+  PacketClass cls;
+  std::size_t app;
+  std::size_t thread;
+};
+
+class TrafficEngine {
+ public:
+  TrafficEngine(const ObmProblem& problem, const Mapping& mapping,
+                const TrafficConfig& config);
+
+  /// Generates this cycle's new requests and due replies into the network.
+  /// Appends zero-latency local accesses (if any) to `locals`.
+  void generate(Network& net, Cycle now, std::vector<LocalAccess>& locals);
+
+  /// Feeds back an ejected request (or forward) so the next packet of its
+  /// transaction gets scheduled.
+  void on_ejection(const Ejection& ejection, Cycle now);
+
+  /// True when no replies remain to be issued (for drain phases).
+  bool idle() const { return pending_replies_.empty(); }
+
+  /// Stops creating *new* requests (drain mode); due replies still issue.
+  void stop_generation() { generating_ = false; }
+
+ private:
+  struct TileSource {
+    std::size_t thread = 0;
+    std::size_t app = 0;
+    double cache_per_cycle = 0.0;
+    double memory_per_cycle = 0.0;
+    /// Per-thread stream (forked from the config seed by *thread* id, not
+    /// tile), so a thread emits the identical request sequence under every
+    /// mapping — mappings are compared on paired traffic.
+    Rng rng{0};
+    bool burst_on = true;  ///< current Markov state (bursty mode only)
+  };
+
+  void emit_request(Network& net, Cycle now, TileSource& src, TileId tile,
+                    PacketClass cls, std::vector<LocalAccess>& locals);
+
+  /// Schedules a follow-up packet (reply or forward) of a transaction.
+  void schedule(Cycle due, PacketClass cls, TileId src, TileId dst,
+                std::size_t app, std::size_t thread);
+
+  const ObmProblem* problem_;
+  TrafficConfig config_;
+  std::vector<TileSource> sources_;   // indexed by tile
+  std::vector<TileId> thread_tile_;   // requester tile per thread
+  Rng coherence_rng_{0};              // owner-tile / dirty-line draws
+  PacketId next_id_ = 1;
+  bool generating_ = true;
+  // Follow-up packets due at a cycle.
+  std::multimap<Cycle, PacketInfo> pending_replies_;
+};
+
+}  // namespace nocmap

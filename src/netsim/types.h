@@ -1,0 +1,158 @@
+// Shared types of the cycle-level NoC simulator (substitution for the
+// paper's Garnet; DESIGN.md §5.2).
+//
+// The simulator models the paper's Table-2 network: a mesh of canonical
+// 3-stage credit-based wormhole routers with virtual channels and XY
+// (dimension-order) routing; 128-bit links make request packets 1 flit and
+// 64-byte data replies 5 flits.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "topology/mesh.h"
+
+namespace nocmap {
+
+using Cycle = std::uint64_t;
+using PacketId = std::uint64_t;
+
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// The packet kinds of the paper's traffic model (Section II.B): requests,
+/// data replies, and the coherence checking/forwarding packets an L2 bank
+/// sends to the private L1 that owns a dirty line (which then supplies the
+/// data to the requester directly).
+enum class PacketClass : std::uint8_t {
+  kCacheRequest,   ///< core → hashed L2 bank, short (1 flit)
+  kCacheReply,     ///< L2 bank (or owner L1) → core, long (5 flits)
+  kMemoryRequest,  ///< core → nearest MC, short (1 flit)
+  kMemoryReply,    ///< MC → core, long (5 flits)
+  kCacheForward,   ///< L2 bank → owner L1, short (1 flit)
+};
+inline constexpr std::size_t kNumPacketClasses = 5;
+
+inline const char* packet_class_name(PacketClass c) {
+  switch (c) {
+    case PacketClass::kCacheRequest: return "cache_request";
+    case PacketClass::kCacheReply: return "cache_reply";
+    case PacketClass::kMemoryRequest: return "memory_request";
+    case PacketClass::kMemoryReply: return "memory_reply";
+    case PacketClass::kCacheForward: return "cache_forward";
+  }
+  return "?";
+}
+
+inline bool is_request(PacketClass c) {
+  return c == PacketClass::kCacheRequest || c == PacketClass::kMemoryRequest;
+}
+
+/// Immutable description of one packet in flight.
+struct PacketInfo {
+  PacketId id = 0;
+  PacketClass cls = PacketClass::kCacheRequest;
+  TileId src = 0;
+  TileId dst = 0;
+  std::uint32_t flits = 1;
+  std::size_t app = 0;        ///< owning application (replies inherit it)
+  std::size_t thread = 0;     ///< originating thread (global index)
+  Cycle created = 0;          ///< cycle the packet entered the source queue
+};
+
+/// Deterministic routing algorithms. XY is the paper's configuration
+/// (deadlock-free dimension order, Section II.C); YX is its transpose;
+/// O1TURN picks XY or YX per packet (balanced by packet id) and stays
+/// deadlock-free by partitioning the VCs between the two sub-routes.
+enum class RoutingAlgo : std::uint8_t { kXY, kYX, kO1Turn };
+
+inline const char* routing_name(RoutingAlgo r) {
+  switch (r) {
+    case RoutingAlgo::kXY: return "XY";
+    case RoutingAlgo::kYX: return "YX";
+    case RoutingAlgo::kO1Turn: return "O1TURN";
+  }
+  return "?";
+}
+
+/// One flow-control unit. Wormhole switching moves these individually.
+struct Flit {
+  PacketId packet = 0;
+  std::uint32_t index = 0;  ///< 0-based position within the packet
+  bool is_head = false;
+  bool is_tail = false;
+  bool yx = false;  ///< true = Y-first sub-route (YX / O1TURN second class)
+  TileId dst = 0;
+  Cycle enqueued = 0;  ///< cycle it entered the current input buffer
+  /// Links traversed so far; fuels distance-weighted arbitration.
+  std::uint32_t hops = 0;
+};
+
+/// Switch-allocation policy. kRoundRobin is the canonical fair arbiter;
+/// kDistanceWeighted is a simplified probabilistic distance-based
+/// arbitration (paper reference [16], Lee et al.) that favours flits that
+/// have already travelled farther — the *architectural* alternative to
+/// mapping-stage latency balancing that the paper's Section I argues can
+/// be avoided by balancing at the mapping stage instead.
+enum class Arbitration : std::uint8_t { kRoundRobin, kDistanceWeighted };
+
+/// Activity counters that feed the DSENT-lite power model. All counts are
+/// events over the measured window.
+struct ActivityCounters {
+  std::uint64_t buffer_writes = 0;     ///< flit written into an input VC
+  std::uint64_t buffer_reads = 0;      ///< flit read out of an input VC
+  std::uint64_t crossbar_traversals = 0;
+  std::uint64_t link_traversals = 0;   ///< inter-router link flit-hops
+  std::uint64_t sw_arbitrations = 0;   ///< switch-allocator grants
+  std::uint64_t vc_allocations = 0;    ///< output-VC grants (head flits)
+  /// Cycles flits spent waiting in input buffers beyond the router
+  /// pipeline minimum — the measured counterpart of the analytic td_q.
+  std::uint64_t queue_wait_cycles = 0;
+
+  ActivityCounters& operator+=(const ActivityCounters& o) {
+    buffer_writes += o.buffer_writes;
+    buffer_reads += o.buffer_reads;
+    crossbar_traversals += o.crossbar_traversals;
+    link_traversals += o.link_traversals;
+    sw_arbitrations += o.sw_arbitrations;
+    vc_allocations += o.vc_allocations;
+    queue_wait_cycles += o.queue_wait_cycles;
+    return *this;
+  }
+
+  /// Average per-hop queuing delay in cycles (paper Section II.C: observed
+  /// 0..1 at evaluated loads). Hops are counted as buffer reads.
+  double avg_queue_wait() const {
+    return buffer_reads > 0 ? static_cast<double>(queue_wait_cycles) /
+                                  static_cast<double>(buffer_reads)
+                            : 0.0;
+  }
+};
+
+/// Router/network micro-architecture parameters (paper Table 2 defaults).
+struct NetworkConfig {
+  std::uint32_t vcs_per_port = 3;      ///< virtual channels per input port
+  std::uint32_t buffer_depth = 5;      ///< flits per VC buffer
+  std::uint32_t router_pipeline = 3;   ///< cycles a flit spends in a router
+  std::uint32_t link_latency = 1;      ///< cycles per inter-router link
+  std::uint32_t short_packet_flits = 1;
+  std::uint32_t long_packet_flits = 5;
+  RoutingAlgo routing = RoutingAlgo::kXY;  ///< the paper uses XY
+  Arbitration arbitration = Arbitration::kRoundRobin;
+  std::uint64_t arbitration_seed = 1;  ///< for the probabilistic arbiter
+
+  /// VC range [lo, hi) a flit of the given sub-route may claim. Under
+  /// O1TURN the VCs are split between the XY and YX classes (deadlock
+  /// freedom); otherwise all VCs are shared.
+  void vc_range(bool yx, std::uint32_t& lo, std::uint32_t& hi) const {
+    if (routing == RoutingAlgo::kO1Turn) {
+      const std::uint32_t mid = vcs_per_port / 2;
+      lo = yx ? mid : 0;
+      hi = yx ? vcs_per_port : mid;
+    } else {
+      lo = 0;
+      hi = vcs_per_port;
+    }
+  }
+};
+
+}  // namespace nocmap

@@ -1,0 +1,149 @@
+#include "topology/mesh.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace nocmap {
+
+namespace {
+
+std::uint32_t abs_diff(std::uint32_t a, std::uint32_t b) {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace
+
+Mesh Mesh::square(std::uint32_t n) {
+  return square_with_placement(n, McPlacement::kCorners);
+}
+
+Mesh Mesh::square_torus(std::uint32_t n) {
+  NOCMAP_REQUIRE(n >= 2, "mesh side must be at least 2");
+  auto at = [n](std::uint32_t r, std::uint32_t c) { return r * n + c; };
+  return Mesh(n, n,
+              {at(0, 0), at(0, n - 1), at(n - 1, 0), at(n - 1, n - 1)},
+              Wraparound::kTorus);
+}
+
+Mesh Mesh::square_with_placement(std::uint32_t n, McPlacement placement) {
+  NOCMAP_REQUIRE(n >= 2, "mesh side must be at least 2");
+  std::vector<TileId> mcs;
+  auto at = [n](std::uint32_t r, std::uint32_t c) { return r * n + c; };
+  switch (placement) {
+    case McPlacement::kCorners:
+      mcs = {at(0, 0), at(0, n - 1), at(n - 1, 0), at(n - 1, n - 1)};
+      break;
+    case McPlacement::kEdgeMiddles: {
+      const std::uint32_t m = n / 2;
+      mcs = {at(0, m), at(m, 0), at(m, n - 1), at(n - 1, m)};
+      break;
+    }
+    case McPlacement::kDiamond: {
+      const std::uint32_t lo = (n - 1) / 2;
+      const std::uint32_t hi = n / 2;
+      mcs = {at(lo, lo), at(lo, hi), at(hi, lo), at(hi, hi)};
+      std::sort(mcs.begin(), mcs.end());
+      mcs.erase(std::unique(mcs.begin(), mcs.end()), mcs.end());
+      break;
+    }
+  }
+  return Mesh(n, n, std::move(mcs));
+}
+
+Mesh::Mesh(std::uint32_t rows, std::uint32_t cols, std::vector<TileId> mc_tiles,
+           Wraparound wraparound)
+    : rows_(rows), cols_(cols), wraparound_(wraparound),
+      mc_tiles_(std::move(mc_tiles)) {
+  NOCMAP_REQUIRE(rows_ >= 1 && cols_ >= 1, "mesh must be non-empty");
+  NOCMAP_REQUIRE(!mc_tiles_.empty(), "mesh needs at least one MC tile");
+  const std::size_t n = num_tiles();
+  is_mc_.assign(n, 0);
+  for (TileId t : mc_tiles_) {
+    NOCMAP_REQUIRE(t < n, "MC tile id out of range");
+    is_mc_[t] = 1;
+  }
+
+  nearest_mc_.assign(n, 0);
+  mc_distance_.assign(n, 0);
+  for (TileId t = 0; t < n; ++t) {
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    TileId best_mc = mc_tiles_.front();
+    for (TileId mc : mc_tiles_) {
+      const std::uint32_t d = hops(t, mc);
+      if (d < best || (d == best && mc < best_mc)) {
+        best = d;
+        best_mc = mc;
+      }
+    }
+    nearest_mc_[t] = best_mc;
+    mc_distance_[t] = best;
+  }
+}
+
+TileCoord Mesh::coord_of(TileId t) const {
+  NOCMAP_REQUIRE(t < num_tiles(), "tile id out of range");
+  return {t / cols_, t % cols_};
+}
+
+TileId Mesh::tile_at(TileCoord c) const { return tile_at(c.row, c.col); }
+
+TileId Mesh::tile_at(std::uint32_t row, std::uint32_t col) const {
+  NOCMAP_REQUIRE(row < rows_ && col < cols_, "tile coordinate out of range");
+  return row * cols_ + col;
+}
+
+TileId Mesh::from_paper_number(std::uint32_t k) const {
+  NOCMAP_REQUIRE(k >= 1 && k <= num_tiles(), "paper tile number out of range");
+  return k - 1;
+}
+
+std::uint32_t Mesh::hops(TileId a, TileId b) const {
+  const TileCoord ca = coord_of(a);
+  const TileCoord cb = coord_of(b);
+  std::uint32_t dr = abs_diff(ca.row, cb.row);
+  std::uint32_t dc = abs_diff(ca.col, cb.col);
+  if (wraparound_ == Wraparound::kTorus) {
+    dr = std::min(dr, rows_ - dr);
+    dc = std::min(dc, cols_ - dc);
+  }
+  return dr + dc;
+}
+
+double Mesh::avg_hops_to_all(TileId t) const {
+  const TileCoord c = coord_of(t);
+  // Row and column contributions are separable under dimension order.
+  auto dim_dist = [this](std::uint32_t a, std::uint32_t b,
+                         std::uint32_t extent) {
+    std::uint32_t d = abs_diff(a, b);
+    if (wraparound_ == Wraparound::kTorus) d = std::min(d, extent - d);
+    return d;
+  };
+  std::uint64_t row_sum = 0;
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    row_sum += dim_dist(c.row, r, rows_);
+  }
+  std::uint64_t col_sum = 0;
+  for (std::uint32_t cc = 0; cc < cols_; ++cc) {
+    col_sum += dim_dist(c.col, cc, cols_);
+  }
+  const double total = static_cast<double>(row_sum) * cols_ +
+                       static_cast<double>(col_sum) * rows_;
+  return total / static_cast<double>(num_tiles());
+}
+
+std::uint32_t Mesh::hops_to_nearest_mc(TileId t) const {
+  NOCMAP_REQUIRE(t < num_tiles(), "tile id out of range");
+  return mc_distance_[t];
+}
+
+TileId Mesh::nearest_mc(TileId t) const {
+  NOCMAP_REQUIRE(t < num_tiles(), "tile id out of range");
+  return nearest_mc_[t];
+}
+
+bool Mesh::is_mc(TileId t) const {
+  NOCMAP_REQUIRE(t < num_tiles(), "tile id out of range");
+  return is_mc_[t] != 0;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,109 @@
+// 2-D mesh topology for tile-based CMPs (paper Section II.B–C).
+//
+// Tiles are identified by 0-based TileId internally; the paper's 1-based
+// numbering k = (i-1)*n + j (eq. 1, row i from top, column j from left) is
+// exposed via paper_number()/from_paper_number() so bench output matches the
+// paper's grids exactly.
+//
+// Routing is dimension-order (XY), so the hop count between two tiles is the
+// Manhattan distance. Memory-controller placement is a property of the mesh;
+// the paper places one MC in each of the four corners and forwards memory
+// requests to the nearest MC (the "proximity principle", which on a square
+// mesh with corner MCs is exactly the quadrant rule of eq. 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nocmap {
+
+using TileId = std::uint32_t;
+
+/// Row/column coordinate, 0-based, row 0 at the top.
+struct TileCoord {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+/// Built-in memory-controller placement schemes.
+enum class McPlacement {
+  kCorners,      ///< one MC per corner (the paper's layout)
+  kEdgeMiddles,  ///< one MC at the middle of each edge
+  kDiamond,      ///< four MCs around the mesh center
+};
+
+/// Link arrangement: a plain mesh, or a torus with wraparound links in
+/// both dimensions. The torus is an analytic extension (hop counts use the
+/// shorter way around); the cycle-level simulator models meshes only.
+enum class Wraparound : std::uint8_t { kNone, kTorus };
+
+/// A rows × cols mesh (or torus) with dimension-order routing and a set of
+/// MC tiles.
+class Mesh {
+ public:
+  /// Square n×n mesh with the paper's corner MCs.
+  static Mesh square(std::uint32_t n);
+
+  /// Square n×n torus with the same corner MCs (extension; see ext_torus).
+  static Mesh square_torus(std::uint32_t n);
+
+  /// General constructor. `mc_tiles` may be empty (memory latency then
+  /// treated as 0 hops is invalid — TM computation requires ≥1 MC).
+  Mesh(std::uint32_t rows, std::uint32_t cols, std::vector<TileId> mc_tiles,
+       Wraparound wraparound = Wraparound::kNone);
+
+  /// Square mesh with a named placement scheme.
+  static Mesh square_with_placement(std::uint32_t n, McPlacement placement);
+
+  bool is_torus() const { return wraparound_ == Wraparound::kTorus; }
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::size_t num_tiles() const {
+    return static_cast<std::size_t>(rows_) * cols_;
+  }
+
+  TileCoord coord_of(TileId t) const;
+  TileId tile_at(TileCoord c) const;
+  TileId tile_at(std::uint32_t row, std::uint32_t col) const;
+
+  /// Paper's 1-based tile number (eq. 1).
+  std::uint32_t paper_number(TileId t) const { return t + 1; }
+  TileId from_paper_number(std::uint32_t k) const;
+
+  /// Hop count between two tiles under XY routing (Manhattan distance).
+  std::uint32_t hops(TileId a, TileId b) const;
+
+  /// Average hop count from `t` to all tiles including itself — the paper's
+  /// HC_k (eq. 3): the expected distance of a cache packet whose bank is
+  /// uniformly address-hashed over all N tiles.
+  double avg_hops_to_all(TileId t) const;
+
+  /// Hop count from `t` to its nearest memory controller — the paper's HM_k.
+  /// For a square mesh with corner MCs this equals eq. 4.
+  std::uint32_t hops_to_nearest_mc(TileId t) const;
+
+  /// The nearest MC tile itself (ties broken toward the lowest TileId);
+  /// needed by the network simulator to pick a concrete destination.
+  TileId nearest_mc(TileId t) const;
+
+  std::span<const TileId> mc_tiles() const { return mc_tiles_; }
+  bool is_mc(TileId t) const;
+
+ private:
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  Wraparound wraparound_ = Wraparound::kNone;
+  std::vector<TileId> mc_tiles_;
+  std::vector<std::uint8_t> is_mc_;         // indexed by TileId
+  std::vector<TileId> nearest_mc_;          // precomputed per tile
+  std::vector<std::uint32_t> mc_distance_;  // precomputed per tile
+};
+
+}  // namespace nocmap

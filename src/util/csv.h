@@ -1,0 +1,36 @@
+// Minimal CSV emission so bench binaries can dump machine-readable results
+// next to the human-readable tables (for plotting the figures externally).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nocmap {
+
+/// Writes rows of stringified cells as RFC-4180-ish CSV (quotes cells that
+/// contain commas, quotes or newlines).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws nocmap::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; also done by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV cell per RFC 4180.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace nocmap

@@ -1,0 +1,48 @@
+// Error-handling primitives shared by every nocmap module.
+//
+// Library code validates its preconditions with NOCMAP_REQUIRE, which throws
+// nocmap::Error (a std::runtime_error) carrying the failed expression and
+// location. Internal invariants that indicate a bug rather than bad input use
+// NOCMAP_ASSERT, which is compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nocmap {
+
+/// Exception type thrown on violated preconditions anywhere in nocmap.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "nocmap requirement failed: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace nocmap
+
+/// Validate a caller-supplied precondition; throws nocmap::Error on failure.
+#define NOCMAP_REQUIRE(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::nocmap::detail::raise_require(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+
+/// Internal invariant check; active only in debug builds.
+#ifdef NDEBUG
+#define NOCMAP_ASSERT(expr) ((void)0)
+#else
+#define NOCMAP_ASSERT(expr) NOCMAP_REQUIRE(expr, "internal invariant")
+#endif

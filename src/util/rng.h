@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation for nocmap.
+//
+// Every stochastic component in the library (workload synthesis, Monte-Carlo
+// mapping, simulated annealing, the network simulator's traffic generators)
+// takes an explicit Rng so that experiments are reproducible from a single
+// seed. The generator is PCG32 (O'Neill, 2014): small state, excellent
+// statistical quality, and cheap enough for flit-level simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nocmap {
+
+/// Stateless 64-bit mixer used for seeding; also handy for hashing ids into
+/// independent stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// PCG32 generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Seeds the generator; distinct (seed, stream) pairs give independent
+  /// sequences, so parallel workers can derive per-worker streams.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffU; }
+
+  /// Next raw 32-bit output.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound), bias-free (Lemire rejection).
+  std::uint32_t uniform_u32(std::uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (caches the second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_u32(static_cast<std::uint32_t>(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A fresh generator with an independent stream derived from this one's
+  /// seed material and `salt`; use for per-worker/per-node streams.
+  Rng fork(std::uint64_t salt) const;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  std::uint64_t seed_;    // retained for fork()
+  std::uint64_t stream_;  // retained for fork()
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Identity permutation 0..n-1.
+std::vector<std::size_t> identity_permutation(std::size_t n);
+
+/// Uniformly random permutation of 0..n-1.
+std::vector<std::size_t> random_permutation(std::size_t n, Rng& rng);
+
+}  // namespace nocmap

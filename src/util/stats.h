@@ -1,0 +1,89 @@
+// Descriptive statistics used throughout nocmap.
+//
+// The paper's evaluation reports means, population standard deviations
+// (dev-APL), minima/maxima and ratios; this header centralizes those so every
+// module computes them identically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nocmap {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation (divide by N). The paper's dev-APL is a
+/// population statistic over the A applications.
+double stddev_population(std::span<const double> xs);
+
+/// Sample standard deviation (divide by N-1); 0 when fewer than 2 values.
+double stddev_sample(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// min/max ratio in [0,1]; the "min-to-max" fairness metric discussed (and
+/// rejected as an objective) in the paper's Section III.A. Returns 1 for an
+/// empty span, 0 when max == 0.
+double min_to_max_ratio(std::span<const double> xs);
+
+/// Streaming mean/variance accumulator (Welford). Used for per-packet
+/// latency statistics in the network simulator where storing every sample
+/// would be wasteful.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance_population() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double variance_sample() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev_population() const;
+  double stddev_sample() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9). Used for deterministic quantile sampling in
+/// workload synthesis. Requires p in (0, 1).
+double inverse_normal_cdf(double p);
+
+/// Fixed-bin histogram over [lo, hi); samples outside are clamped into the
+/// first/last bin. Used for packet-latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Value below which the given fraction (0..1) of samples fall, linearly
+  /// interpolated within the containing bin.
+  double percentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nocmap

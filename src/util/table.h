@@ -1,0 +1,47 @@
+// Fixed-width ASCII table rendering for bench output.
+//
+// Every bench binary prints paper-style tables; this keeps the formatting in
+// one place so all reproductions read identically.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace nocmap {
+
+/// A simple column-aligned text table. Cells are strings; helpers format
+/// doubles with a chosen precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Writes header + rows through a CsvWriter (machine-readable twin of
+  /// print(), for external plotting).
+  void write_csv(CsvWriter& writer) const;
+
+  /// Convenience: writes the table to `path` as CSV.
+  void save_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 2 decimals).
+std::string fmt(double v, int precision = 2);
+
+/// Formats as a percentage with sign, e.g. "+3.82%".
+std::string fmt_percent(double fraction, int precision = 2);
+
+}  // namespace nocmap

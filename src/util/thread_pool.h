@@ -1,0 +1,67 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// Used to parallelize embarrassingly parallel sweeps: Monte-Carlo mapping
+// trials, per-configuration bench runs, and batched network simulations.
+// Deterministic results are preserved by giving each index range its own
+// forked RNG stream at the call site.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nocmap {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; fire-and-forget (use parallel_for for joining).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs body(i) for i in [begin, end), chunked across the pool, and blocks
+  /// until all iterations complete. Exceptions from the body are rethrown
+  /// (first one wins).
+  ///
+  /// Re-entrancy: when called from one of this pool's own worker threads
+  /// (nested parallelism), the range runs inline on the calling thread —
+  /// blocking a worker on subtasks the same pool must execute would
+  /// deadlock once all workers are blocked.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience: one-shot parallel_for on a transient pool sized to hardware.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace nocmap

@@ -1,0 +1,121 @@
+#include "latency/model.h"
+
+#include <gtest/gtest.h>
+
+namespace nocmap {
+namespace {
+
+LatencyParams fig5_params() {
+  // The parameters of the paper's Figure-5 worked example.
+  return {.td_r = 3.0, .td_w = 1.0, .td_q = 0.0, .td_s = 1.0};
+}
+
+TEST(LatencyParams, PerHop) {
+  const LatencyParams p{.td_r = 3.0, .td_w = 1.0, .td_q = 0.5, .td_s = 2.0};
+  EXPECT_DOUBLE_EQ(p.per_hop(), 4.5);
+}
+
+TEST(PacketMix, AverageSerialization) {
+  const PacketMix mix{.short_flits = 1.0, .long_flits = 5.0,
+                      .short_fraction = 0.5};
+  EXPECT_DOUBLE_EQ(mix.average_serialization(), 3.0);
+}
+
+TEST(TileLatencyModel, TcFormulaOn4x4) {
+  // 4x4 mesh, Fig-5 parameters: corner HC = 3.0, edge HC = 2.5,
+  // center HC = 2.0; TC = HC*4 + 1*(15/16).
+  const Mesh mesh = Mesh::square(4);
+  const TileLatencyModel model(mesh, fig5_params());
+  const double ser = 15.0 / 16.0;
+  EXPECT_DOUBLE_EQ(model.tc(mesh.tile_at(0, 0)), 12.0 + ser);
+  EXPECT_DOUBLE_EQ(model.tc(mesh.tile_at(0, 1)), 10.0 + ser);
+  EXPECT_DOUBLE_EQ(model.tc(mesh.tile_at(1, 1)), 8.0 + ser);
+}
+
+TEST(TileLatencyModel, HcAnchors8x8) {
+  const Mesh mesh = Mesh::square(8);
+  const TileLatencyModel model(mesh, fig5_params());
+  EXPECT_DOUBLE_EQ(model.hc(mesh.from_paper_number(1)), 7.0);
+  EXPECT_DOUBLE_EQ(model.hc(mesh.from_paper_number(28)), 4.0);
+}
+
+TEST(TileLatencyModel, TmZeroSerializationOnMcTile) {
+  const Mesh mesh = Mesh::square(8);
+  const TileLatencyModel model(mesh, fig5_params());
+  for (TileId mc : mesh.mc_tiles()) {
+    EXPECT_DOUBLE_EQ(model.tm(mc), 0.0);  // zero hops, no serialization
+  }
+}
+
+TEST(TileLatencyModel, TmFormulaForNonMcTiles) {
+  const Mesh mesh = Mesh::square(8);
+  const LatencyParams p = fig5_params();
+  const TileLatencyModel model(mesh, p);
+  for (TileId t = 0; t < mesh.num_tiles(); ++t) {
+    if (mesh.is_mc(t)) continue;
+    const double expected =
+        static_cast<double>(mesh.hops_to_nearest_mc(t)) * p.per_hop() +
+        p.td_s;
+    EXPECT_DOUBLE_EQ(model.tm(t), expected);
+  }
+}
+
+// The paper's Fig. 3 observation: cache latency is lowest in the center and
+// highest in the corners; memory latency is the opposite.
+TEST(TileLatencyModel, CacheAndMemoryGradientsOppose) {
+  const Mesh mesh = Mesh::square(8);
+  const TileLatencyModel model(mesh, LatencyParams{});
+  const TileId corner = mesh.tile_at(0, 0);
+  const TileId center = mesh.tile_at(3, 3);
+  EXPECT_GT(model.tc(corner), model.tc(center));
+  EXPECT_LT(model.tm(corner), model.tm(center));
+}
+
+TEST(TileLatencyModel, SymmetryOfTcUnderMeshSymmetry) {
+  const Mesh mesh = Mesh::square(8);
+  const TileLatencyModel model(mesh, LatencyParams{});
+  // 4-fold rotational symmetry: the four corners share one TC value.
+  const double c = model.tc(mesh.tile_at(0, 0));
+  EXPECT_DOUBLE_EQ(model.tc(mesh.tile_at(0, 7)), c);
+  EXPECT_DOUBLE_EQ(model.tc(mesh.tile_at(7, 0)), c);
+  EXPECT_DOUBLE_EQ(model.tc(mesh.tile_at(7, 7)), c);
+}
+
+TEST(TileLatencyModel, ArraysSizedToMesh) {
+  const Mesh mesh = Mesh::square(6);
+  const TileLatencyModel model(mesh, LatencyParams{});
+  EXPECT_EQ(model.tc_array().size(), mesh.num_tiles());
+  EXPECT_EQ(model.tm_array().size(), mesh.num_tiles());
+  for (TileId t = 0; t < mesh.num_tiles(); ++t) {
+    EXPECT_DOUBLE_EQ(model.tc_array()[t], model.tc(t));
+    EXPECT_DOUBLE_EQ(model.tm_array()[t], model.tm(t));
+  }
+}
+
+TEST(PacketLatency, Eq2Formula) {
+  const Mesh mesh = Mesh::square(8);
+  const LatencyParams p = fig5_params();
+  const TileId a = mesh.tile_at(0, 0);
+  const TileId b = mesh.tile_at(2, 3);
+  EXPECT_DOUBLE_EQ(packet_latency(mesh, p, a, b), 5.0 * 4.0 + 1.0);
+  EXPECT_DOUBLE_EQ(packet_latency(mesh, p, a, a), 0.0);  // no network
+}
+
+// TC(k) must equal the average of eq.-2 packet latencies over all
+// destinations (the definition from which the closed form is derived).
+TEST(TileLatencyModel, TcEqualsAverageOfPacketLatencies) {
+  const Mesh mesh = Mesh::square(5);
+  const LatencyParams p{.td_r = 2.0, .td_w = 1.5, .td_q = 0.25, .td_s = 3.0};
+  const TileLatencyModel model(mesh, p);
+  for (TileId k = 0; k < mesh.num_tiles(); ++k) {
+    double avg = 0.0;
+    for (TileId d = 0; d < mesh.num_tiles(); ++d) {
+      avg += packet_latency(mesh, p, k, d);
+    }
+    avg /= static_cast<double>(mesh.num_tiles());
+    EXPECT_NEAR(model.tc(k), avg, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace nocmap

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/annealing_mapper.h"
+#include "core/global_mapper.h"
+#include "core/metrics.h"
+#include "core/monte_carlo_mapper.h"
+#include "core/random_mapper.h"
+#include "workload/synthesis.h"
+
+namespace nocmap {
+namespace {
+
+ObmProblem make_problem(const std::string& config, std::uint64_t seed) {
+  const Mesh mesh = Mesh::square(8);
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    synthesize_workload(parsec_config(config), seed));
+}
+
+TEST(AllMappers, ProduceValidPermutations) {
+  const ObmProblem p = make_problem("C1", 1);
+  std::vector<std::unique_ptr<Mapper>> mappers;
+  mappers.push_back(std::make_unique<GlobalMapper>());
+  mappers.push_back(std::make_unique<RandomMapper>(1));
+  mappers.push_back(std::make_unique<MonteCarloMapper>(500, 1));
+  mappers.push_back(std::make_unique<AnnealingMapper>(
+      AnnealingParams{.iterations = 2000, .seed = 1}));
+  for (auto& m : mappers) {
+    const Mapping result = m->map(p);
+    EXPECT_TRUE(result.is_valid_permutation(p.num_threads())) << m->name();
+  }
+}
+
+TEST(GlobalMapper, MinimizesGapl) {
+  const ObmProblem p = make_problem("C1", 2);
+  GlobalMapper global;
+  const double g_opt = evaluate(p, global.map(p)).g_apl;
+  // No other tested mapping may achieve a lower g-APL (Global is exact).
+  RandomMapper random(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(g_opt, evaluate(p, random.map(p)).g_apl + 1e-9);
+  }
+  MonteCarloMapper mc(1000, 3);
+  EXPECT_LE(g_opt, evaluate(p, mc.map(p)).g_apl + 1e-9);
+}
+
+TEST(GlobalMapper, Deterministic) {
+  const ObmProblem p = make_problem("C2", 3);
+  GlobalMapper a, b;
+  EXPECT_EQ(a.map(p).thread_to_tile, b.map(p).thread_to_tile);
+}
+
+// The paper's Section II.D phenomenon: Global improves g-APL over random
+// but worsens max-APL and dev-APL.
+TEST(GlobalMapper, ExacerbatesImbalance) {
+  const ObmProblem p = make_problem("C1", 4);
+  GlobalMapper global;
+  const LatencyReport g = evaluate(p, global.map(p));
+
+  RandomMapper random(11);
+  double avg_g = 0.0, avg_max = 0.0, avg_dev = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    const LatencyReport r = evaluate(p, random.map(p));
+    avg_g += r.g_apl;
+    avg_max += r.max_apl;
+    avg_dev += r.dev_apl;
+  }
+  avg_g /= trials;
+  avg_max /= trials;
+  avg_dev /= trials;
+
+  EXPECT_LT(g.g_apl, avg_g);      // better overall latency...
+  EXPECT_GT(g.max_apl, avg_max);  // ...but worse worst-application latency
+  EXPECT_GT(g.dev_apl, avg_dev);  // ...and worse balance
+}
+
+TEST(RandomMapper, SuccessiveCallsDiffer) {
+  const ObmProblem p = make_problem("C1", 5);
+  RandomMapper random(13);
+  const Mapping a = random.map(p);
+  const Mapping b = random.map(p);
+  EXPECT_NE(a.thread_to_tile, b.thread_to_tile);
+}
+
+TEST(MonteCarloMapper, MoreTrialsNeverWorse) {
+  const ObmProblem p = make_problem("C3", 6);
+  // With a shared seed, the first 200 trials of the 2000-trial search are
+  // the same shards, so the 2000-trial result can only be better or equal.
+  MonteCarloMapper small(256, 9, /*parallel=*/false);
+  MonteCarloMapper large(2048, 9, /*parallel=*/false);
+  const double small_obj = evaluate(p, small.map(p)).max_apl;
+  const double large_obj = evaluate(p, large.map(p)).max_apl;
+  EXPECT_LE(large_obj, small_obj + 1e-9);
+}
+
+TEST(MonteCarloMapper, ParallelMatchesSequential) {
+  const ObmProblem p = make_problem("C4", 7);
+  MonteCarloMapper seq(2000, 21, /*parallel=*/false);
+  MonteCarloMapper par(2000, 21, /*parallel=*/true);
+  EXPECT_EQ(seq.map(p).thread_to_tile, par.map(p).thread_to_tile);
+}
+
+TEST(MonteCarloMapper, BeatsSingleRandomOnAverage) {
+  const ObmProblem p = make_problem("C1", 8);
+  MonteCarloMapper mc(2000, 5);
+  const double mc_obj = evaluate(p, mc.map(p)).max_apl;
+  RandomMapper random(17);
+  double avg_random = 0.0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    avg_random += evaluate(p, random.map(p)).max_apl;
+  }
+  EXPECT_LT(mc_obj, avg_random / trials);
+}
+
+TEST(AnnealingMapper, ImprovesOverRandomAverage) {
+  const ObmProblem p = make_problem("C1", 9);
+  AnnealingMapper sa(AnnealingParams{.iterations = 20000, .seed = 3});
+  const double sa_obj = evaluate(p, sa.map(p)).max_apl;
+  RandomMapper random(19);
+  double avg_random = 0.0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    avg_random += evaluate(p, random.map(p)).max_apl;
+  }
+  EXPECT_LT(sa_obj, avg_random / trials);
+}
+
+TEST(AnnealingMapper, MoreIterationsHelpOnAverage) {
+  // SA is stochastic; compare averages over seeds rather than single runs.
+  const ObmProblem p = make_problem("C5", 10);
+  double short_total = 0.0, long_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    AnnealingMapper quick(AnnealingParams{.iterations = 500, .seed = seed});
+    AnnealingMapper thorough(
+        AnnealingParams{.iterations = 50000, .seed = seed});
+    short_total += evaluate(p, quick.map(p)).max_apl;
+    long_total += evaluate(p, thorough.map(p)).max_apl;
+  }
+  EXPECT_LT(long_total, short_total);
+}
+
+TEST(AnnealingMapper, DeterministicForSeed) {
+  const ObmProblem p = make_problem("C6", 11);
+  AnnealingMapper a(AnnealingParams{.iterations = 5000, .seed = 77});
+  AnnealingMapper b(AnnealingParams{.iterations = 5000, .seed = 77});
+  EXPECT_EQ(a.map(p).thread_to_tile, b.map(p).thread_to_tile);
+}
+
+TEST(MapperNames, MatchPaperLabels) {
+  EXPECT_EQ(GlobalMapper().name(), "Global");
+  EXPECT_EQ(RandomMapper().name(), "Random");
+  EXPECT_EQ(MonteCarloMapper().name(), "MC");
+  EXPECT_EQ(AnnealingMapper().name(), "SA");
+}
+
+}  // namespace
+}  // namespace nocmap

@@ -1,0 +1,210 @@
+#include "topology/mesh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nocmap {
+namespace {
+
+TEST(Mesh, SquareBasics) {
+  const Mesh m = Mesh::square(8);
+  EXPECT_EQ(m.rows(), 8u);
+  EXPECT_EQ(m.cols(), 8u);
+  EXPECT_EQ(m.num_tiles(), 64u);
+}
+
+TEST(Mesh, TooSmallThrows) { EXPECT_THROW(Mesh::square(1), Error); }
+
+TEST(Mesh, CoordinateRoundTrip) {
+  const Mesh m = Mesh::square(8);
+  for (TileId t = 0; t < m.num_tiles(); ++t) {
+    EXPECT_EQ(m.tile_at(m.coord_of(t)), t);
+  }
+}
+
+// Paper eq. 1 worked example: "the 29-th tile in Figure 1 (where n = 8) is
+// located at the fourth row (from the top), fifth column (from the left)".
+TEST(Mesh, PaperNumberingExample) {
+  const Mesh m = Mesh::square(8);
+  const TileId t = m.from_paper_number(29);
+  const TileCoord c = m.coord_of(t);
+  EXPECT_EQ(c.row, 3u);  // fourth row, 0-based
+  EXPECT_EQ(c.col, 4u);  // fifth column, 0-based
+  EXPECT_EQ(m.paper_number(t), 29u);
+}
+
+TEST(Mesh, PaperNumberRangeChecked) {
+  const Mesh m = Mesh::square(4);
+  EXPECT_THROW(m.from_paper_number(0), Error);
+  EXPECT_THROW(m.from_paper_number(17), Error);
+}
+
+TEST(Mesh, HopsIsManhattanDistance) {
+  const Mesh m = Mesh::square(8);
+  EXPECT_EQ(m.hops(m.tile_at(0, 0), m.tile_at(0, 0)), 0u);
+  EXPECT_EQ(m.hops(m.tile_at(0, 0), m.tile_at(7, 7)), 14u);
+  EXPECT_EQ(m.hops(m.tile_at(3, 4), m.tile_at(5, 1)), 5u);
+}
+
+TEST(Mesh, HopsIsSymmetric) {
+  const Mesh m = Mesh::square(5);
+  for (TileId a = 0; a < m.num_tiles(); ++a) {
+    for (TileId b = 0; b < m.num_tiles(); ++b) {
+      EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+    }
+  }
+}
+
+// Paper Section II.C anchors: on an 8x8 mesh, HC_1 = 7 for corner tile 1 and
+// HC_28 = 4 for central tile 28 (paper numbering).
+TEST(Mesh, AvgHopsPaperAnchors) {
+  const Mesh m = Mesh::square(8);
+  EXPECT_DOUBLE_EQ(m.avg_hops_to_all(m.from_paper_number(1)), 7.0);
+  EXPECT_DOUBLE_EQ(m.avg_hops_to_all(m.from_paper_number(28)), 4.0);
+}
+
+TEST(Mesh, AvgHopsMatchesDirectSum) {
+  const Mesh m = Mesh::square(6);
+  for (TileId t = 0; t < m.num_tiles(); ++t) {
+    double direct = 0.0;
+    for (TileId u = 0; u < m.num_tiles(); ++u) {
+      direct += static_cast<double>(m.hops(t, u));
+    }
+    direct /= static_cast<double>(m.num_tiles());
+    EXPECT_DOUBLE_EQ(m.avg_hops_to_all(t), direct);
+  }
+}
+
+TEST(Mesh, AvgHopsCenterSmallerThanCorner) {
+  const Mesh m = Mesh::square(8);
+  const double corner = m.avg_hops_to_all(m.tile_at(0, 0));
+  const double center = m.avg_hops_to_all(m.tile_at(3, 3));
+  EXPECT_LT(center, corner);
+}
+
+TEST(Mesh, CornerMcPlacement) {
+  const Mesh m = Mesh::square(8);
+  ASSERT_EQ(m.mc_tiles().size(), 4u);
+  EXPECT_TRUE(m.is_mc(m.tile_at(0, 0)));
+  EXPECT_TRUE(m.is_mc(m.tile_at(0, 7)));
+  EXPECT_TRUE(m.is_mc(m.tile_at(7, 0)));
+  EXPECT_TRUE(m.is_mc(m.tile_at(7, 7)));
+  EXPECT_FALSE(m.is_mc(m.tile_at(3, 3)));
+}
+
+// Paper eq. 4: HM_k = min(i-1, n-i) + min(j-1, n-j) with 1-based i, j.
+TEST(Mesh, NearestMcMatchesQuadrantFormula) {
+  const Mesh m = Mesh::square(8);
+  for (TileId t = 0; t < m.num_tiles(); ++t) {
+    const TileCoord c = m.coord_of(t);
+    const std::uint32_t i = c.row + 1;
+    const std::uint32_t j = c.col + 1;
+    const std::uint32_t expected =
+        std::min(i - 1, 8 - i) + std::min(j - 1, 8 - j);
+    EXPECT_EQ(m.hops_to_nearest_mc(t), expected) << "tile " << t;
+  }
+}
+
+TEST(Mesh, NearestMcIsConsistentWithDistance) {
+  const Mesh m = Mesh::square(8);
+  for (TileId t = 0; t < m.num_tiles(); ++t) {
+    EXPECT_EQ(m.hops(t, m.nearest_mc(t)), m.hops_to_nearest_mc(t));
+    EXPECT_TRUE(m.is_mc(m.nearest_mc(t)));
+  }
+}
+
+TEST(Mesh, McTileHasZeroMcDistance) {
+  const Mesh m = Mesh::square(8);
+  for (TileId mc : m.mc_tiles()) {
+    EXPECT_EQ(m.hops_to_nearest_mc(mc), 0u);
+    EXPECT_EQ(m.nearest_mc(mc), mc);
+  }
+}
+
+TEST(Mesh, EdgeMiddlePlacement) {
+  const Mesh m = Mesh::square_with_placement(8, McPlacement::kEdgeMiddles);
+  EXPECT_EQ(m.mc_tiles().size(), 4u);
+  EXPECT_TRUE(m.is_mc(m.tile_at(0, 4)));
+  EXPECT_TRUE(m.is_mc(m.tile_at(4, 0)));
+  EXPECT_TRUE(m.is_mc(m.tile_at(4, 7)));
+  EXPECT_TRUE(m.is_mc(m.tile_at(7, 4)));
+}
+
+TEST(Mesh, DiamondPlacementCenter) {
+  const Mesh even = Mesh::square_with_placement(8, McPlacement::kDiamond);
+  EXPECT_EQ(even.mc_tiles().size(), 4u);
+  EXPECT_TRUE(even.is_mc(even.tile_at(3, 3)));
+  EXPECT_TRUE(even.is_mc(even.tile_at(4, 4)));
+
+  const Mesh odd = Mesh::square_with_placement(5, McPlacement::kDiamond);
+  EXPECT_EQ(odd.mc_tiles().size(), 1u);  // degenerate center
+  EXPECT_TRUE(odd.is_mc(odd.tile_at(2, 2)));
+}
+
+TEST(Torus, WraparoundShortensHops) {
+  const Mesh torus = Mesh::square_torus(8);
+  EXPECT_TRUE(torus.is_torus());
+  // Opposite corners are 2 hops apart on a torus (1 wrap per dimension).
+  EXPECT_EQ(torus.hops(torus.tile_at(0, 0), torus.tile_at(7, 7)), 2u);
+  EXPECT_EQ(torus.hops(torus.tile_at(0, 0), torus.tile_at(0, 4)), 4u);
+  EXPECT_EQ(torus.hops(torus.tile_at(0, 0), torus.tile_at(0, 5)), 3u);
+}
+
+TEST(Torus, HopsNeverExceedMesh) {
+  const Mesh mesh = Mesh::square(6);
+  const Mesh torus = Mesh::square_torus(6);
+  for (TileId a = 0; a < 36; ++a) {
+    for (TileId b = 0; b < 36; ++b) {
+      EXPECT_LE(torus.hops(a, b), mesh.hops(a, b));
+    }
+  }
+}
+
+TEST(Torus, UniformAverageHops) {
+  // Vertex-transitive: every tile has the same average distance, so the
+  // cache-latency imbalance the paper balances does not exist on a torus.
+  const Mesh torus = Mesh::square_torus(8);
+  const double reference = torus.avg_hops_to_all(0);
+  for (TileId t = 1; t < torus.num_tiles(); ++t) {
+    EXPECT_DOUBLE_EQ(torus.avg_hops_to_all(t), reference);
+  }
+  // 8x8 torus: per-dimension average min(d, 8-d) over d=0..7 is
+  // (0+1+2+3+4+3+2+1)/8 = 2; two dimensions -> 4 hops.
+  EXPECT_DOUBLE_EQ(reference, 4.0);
+}
+
+TEST(Torus, AvgHopsMatchesDirectSum) {
+  const Mesh torus = Mesh::square_torus(5);
+  for (TileId t = 0; t < torus.num_tiles(); ++t) {
+    double direct = 0.0;
+    for (TileId u = 0; u < torus.num_tiles(); ++u) {
+      direct += static_cast<double>(torus.hops(t, u));
+    }
+    direct /= static_cast<double>(torus.num_tiles());
+    EXPECT_DOUBLE_EQ(torus.avg_hops_to_all(t), direct);
+  }
+}
+
+TEST(Torus, MeshIsNotTorus) { EXPECT_FALSE(Mesh::square(4).is_torus()); }
+
+TEST(Mesh, RectangularMesh) {
+  const Mesh m(2, 3, {0});
+  EXPECT_EQ(m.num_tiles(), 6u);
+  EXPECT_EQ(m.hops(m.tile_at(0, 0), m.tile_at(1, 2)), 3u);
+}
+
+TEST(Mesh, InvalidMcRejected) {
+  EXPECT_THROW(Mesh(2, 2, {}), Error);
+  EXPECT_THROW(Mesh(2, 2, {4}), Error);
+}
+
+TEST(Mesh, OutOfRangeAccessors) {
+  const Mesh m = Mesh::square(2);
+  EXPECT_THROW(m.coord_of(4), Error);
+  EXPECT_THROW(m.tile_at(2, 0), Error);
+  EXPECT_THROW(m.is_mc(4), Error);
+}
+
+}  // namespace
+}  // namespace nocmap

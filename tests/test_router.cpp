@@ -1,0 +1,188 @@
+#include "netsim/router.h"
+
+#include <gtest/gtest.h>
+
+namespace nocmap {
+namespace {
+
+NetworkConfig small_config() {
+  NetworkConfig c;
+  c.vcs_per_port = 2;
+  c.buffer_depth = 3;
+  c.router_pipeline = 3;
+  return c;
+}
+
+Flit make_flit(PacketId id, std::uint32_t index, std::uint32_t total,
+               TileId dst) {
+  Flit f;
+  f.packet = id;
+  f.index = index;
+  f.is_head = (index == 0);
+  f.is_tail = (index + 1 == total);
+  f.dst = dst;
+  return f;
+}
+
+TEST(PortDir, OppositeIsInvolution) {
+  for (auto d : {PortDir::kNorth, PortDir::kEast, PortDir::kSouth,
+                 PortDir::kWest, PortDir::kLocal}) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+  }
+  EXPECT_EQ(opposite(PortDir::kNorth), PortDir::kSouth);
+  EXPECT_EQ(opposite(PortDir::kEast), PortDir::kWest);
+}
+
+TEST(Router, AcceptsUpToBufferDepth) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(r.can_accept(PortDir::kWest, 0));
+    r.receive_flit(PortDir::kWest, 0, make_flit(1, i, 5, 10), 0);
+  }
+  EXPECT_FALSE(r.can_accept(PortDir::kWest, 0));
+  EXPECT_EQ(r.buffered_flits(), 3u);
+  EXPECT_THROW(r.receive_flit(PortDir::kWest, 0, make_flit(1, 3, 5, 10), 0),
+               Error);
+}
+
+TEST(Router, FlitNotEligibleBeforePipelineDelay) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());  // tile (1,1)
+  r.receive_flit(PortDir::kLocal, 0, make_flit(1, 0, 1, 6), 0);  // to (1,2)
+
+  std::vector<Departure> out;
+  r.tick(0, out);
+  EXPECT_TRUE(out.empty());
+  r.tick(2, out);
+  EXPECT_TRUE(out.empty());
+  r.tick(3, out);  // enqueued 0 + pipeline 3
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].out_port, PortDir::kEast);
+  EXPECT_EQ(out[0].in_port, PortDir::kLocal);
+}
+
+TEST(Router, XyRoutingGoesXFirst) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());  // tile (1,1)
+  // Destination (3,3): must go East first (X before Y).
+  r.receive_flit(PortDir::kLocal, 0, make_flit(1, 0, 1, 15), 0);
+  std::vector<Departure> out;
+  r.tick(3, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].out_port, PortDir::kEast);
+}
+
+TEST(Router, RoutesToLocalWhenAtDestination) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());
+  r.receive_flit(PortDir::kWest, 0, make_flit(1, 0, 1, 5), 0);  // dst == id
+  std::vector<Departure> out;
+  r.tick(3, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].out_port, PortDir::kLocal);
+}
+
+TEST(Router, WormholeKeepsPacketContiguousInVc) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());
+  // Three flits of one packet.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    r.receive_flit(PortDir::kWest, 0, make_flit(1, i, 3, 6), 0);
+  }
+  std::vector<Departure> out;
+  for (Cycle now = 3; now <= 5; ++now) r.tick(now, out);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i].flit.index, i);  // in order
+    EXPECT_EQ(out[i].out_vc, out[0].out_vc);  // same VC throughout
+  }
+}
+
+TEST(Router, StallsWhenNoCredits) {
+  const Mesh mesh = Mesh::square(4);
+  NetworkConfig cfg = small_config();
+  cfg.buffer_depth = 1;  // single credit per VC
+  Router r(5, mesh, cfg);
+  r.receive_flit(PortDir::kWest, 0, make_flit(1, 0, 2, 6), 0);
+  std::vector<Departure> out;
+  r.tick(3, out);
+  ASSERT_EQ(out.size(), 1u);  // head leaves, consuming the only credit
+  out.clear();
+  r.receive_flit(PortDir::kWest, 0, make_flit(1, 1, 2, 6), 3);
+  r.tick(7, out);
+  EXPECT_TRUE(out.empty());  // tail blocked: no credit
+  r.receive_credit(PortDir::kEast, out.empty() ? 0 : 0);
+  // Credit was returned to VC 0 of the East output (the one used).
+  r.tick(8, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].flit.is_tail);
+}
+
+TEST(Router, TailReleasesOutputVc) {
+  const Mesh mesh = Mesh::square(4);
+  NetworkConfig cfg = small_config();
+  cfg.vcs_per_port = 1;  // single VC: second packet must reuse it
+  Router r(5, mesh, cfg);
+  r.receive_flit(PortDir::kWest, 0, make_flit(1, 0, 1, 6), 0);
+  std::vector<Departure> out;
+  r.tick(3, out);
+  ASSERT_EQ(out.size(), 1u);
+  out.clear();
+  // Second packet in the same input VC gets the output VC after the tail.
+  r.receive_flit(PortDir::kWest, 0, make_flit(2, 0, 1, 6), 4);
+  r.tick(7, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].flit.packet, 2u);
+}
+
+TEST(Router, OneGrantPerOutputPortPerCycle) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());
+  // Two packets from different input ports, both heading East.
+  r.receive_flit(PortDir::kWest, 0, make_flit(1, 0, 1, 6), 0);
+  r.receive_flit(PortDir::kNorth, 0, make_flit(2, 0, 1, 6), 0);
+  std::vector<Departure> out;
+  r.tick(3, out);
+  EXPECT_EQ(out.size(), 1u);
+  r.tick(4, out);
+  EXPECT_EQ(out.size(), 2u);  // the other one follows next cycle
+}
+
+TEST(Router, DistinctOutputsServedSameCycle) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());
+  r.receive_flit(PortDir::kWest, 0, make_flit(1, 0, 1, 6), 0);   // East
+  r.receive_flit(PortDir::kNorth, 0, make_flit(2, 0, 1, 9), 0);  // South
+  std::vector<Departure> out;
+  r.tick(3, out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Router, ActivityCountersTrackEvents) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    r.receive_flit(PortDir::kWest, 0, make_flit(1, i, 2, 6), 0);
+  }
+  std::vector<Departure> out;
+  for (Cycle now = 3; now <= 4; ++now) r.tick(now, out);
+  const ActivityCounters& a = r.activity();
+  EXPECT_EQ(a.buffer_writes, 2u);
+  EXPECT_EQ(a.buffer_reads, 2u);
+  EXPECT_EQ(a.crossbar_traversals, 2u);
+  EXPECT_EQ(a.sw_arbitrations, 2u);
+  EXPECT_EQ(a.vc_allocations, 1u);  // one per packet
+  r.reset_activity();
+  EXPECT_EQ(r.activity().buffer_writes, 0u);
+}
+
+TEST(Router, CreditOverflowDetected) {
+  const Mesh mesh = Mesh::square(4);
+  Router r(5, mesh, small_config());
+  // Buffers start at full credit; an extra credit is a protocol violation.
+  EXPECT_THROW(r.receive_credit(PortDir::kEast, 0), Error);
+}
+
+}  // namespace
+}  // namespace nocmap

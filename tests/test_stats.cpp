@@ -1,0 +1,168 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nocmap {
+namespace {
+
+TEST(Mean, Basic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Mean, Empty) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stddev, PopulationKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stddev_population(xs), 2.0);
+}
+
+TEST(Stddev, SampleVsPopulation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_NEAR(stddev_population(xs), std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(stddev_sample(xs), 1.0, 1e-12);
+}
+
+TEST(Stddev, ConstantIsZero) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev_population(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_sample(xs), 0.0);
+}
+
+TEST(Stddev, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(stddev_population({}), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(stddev_sample(one), 0.0);
+}
+
+TEST(MinMax, Basic) {
+  const std::vector<double> xs{3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(MinMax, EmptyThrows) {
+  EXPECT_THROW(min_value({}), Error);
+  EXPECT_THROW(max_value({}), Error);
+}
+
+TEST(MinToMaxRatio, Basic) {
+  const std::vector<double> xs{2.0, 4.0};
+  EXPECT_DOUBLE_EQ(min_to_max_ratio(xs), 0.5);
+}
+
+TEST(MinToMaxRatio, Degenerate) {
+  EXPECT_DOUBLE_EQ(min_to_max_ratio({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(min_to_max_ratio(zeros), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  Rng rng(7);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 11.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev_population(), stddev_population(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev_sample(), stddev_sample(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+  EXPECT_NEAR(rs.sum(), mean(xs) * 1000.0, 1e-6);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev_population(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(9);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    a.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 700; ++i) {
+    const double x = rng.normal(-1.0, 0.5);
+    b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance_population(), combined.variance_population(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double m = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), m);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.841344746), 1.0, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.158655254), -1.0, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.97724987), 2.0, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.0013498980), -3.0, 1e-5);
+}
+
+TEST(InverseNormalCdf, Symmetry) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(inverse_normal_cdf(p), -inverse_normal_cdf(1.0 - p), 1e-8);
+  }
+}
+
+TEST(InverseNormalCdf, DomainChecked) {
+  EXPECT_THROW(inverse_normal_cdf(0.0), Error);
+  EXPECT_THROW(inverse_normal_cdf(1.0), Error);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, PercentileUniform) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace nocmap

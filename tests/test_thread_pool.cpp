@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nocmap {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(8);
+  std::vector<long> partial(10000, 0);
+  pool.parallel_for(0, partial.size(),
+                    [&](std::size_t i) { partial[i] = static_cast<long>(i); });
+  const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(total, 10000L * 9999L / 2);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool must remain usable afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, SequentialReuse) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> counter{0};
+    pool.parallel_for(0, 50, [&](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 50);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A parallel_for body that itself calls parallel_for on the same pool
+  // must complete (nested calls run inline on the worker thread).
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, 8, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(0, 8, [&](std::size_t inner) {
+      ++hits[outer * 8 + inner];
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, OnWorkerThreadFalseOutside) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(FreeParallelFor, NestedViaFreeFunction) {
+  std::vector<std::atomic<int>> hits(36);
+  parallel_for(0, 6, [&](std::size_t outer) {
+    parallel_for(0, 6,
+                 [&](std::size_t inner) { ++hits[outer * 6 + inner]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(FreeParallelFor, Works) {
+  std::vector<std::atomic<int>> hits(200);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace nocmap
