@@ -1,6 +1,8 @@
 #include "bench_common.h"
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 
 namespace nocmap::bench {
@@ -15,15 +17,27 @@ ObmProblem standard_problem(const std::string& config_name) {
   return standard_problem(parsec_config(config_name));
 }
 
-std::vector<std::unique_ptr<Mapper>> paper_mappers() {
+std::vector<std::unique_ptr<Mapper>> paper_mappers(ParallelConfig parallel) {
   std::vector<std::unique_ptr<Mapper>> mappers;
   mappers.push_back(std::make_unique<GlobalMapper>());
   mappers.push_back(std::make_unique<MonteCarloMapper>(kMcTrials,
-                                                       kAlgorithmSeed));
-  mappers.push_back(std::make_unique<AnnealingMapper>(AnnealingParams{
-      .iterations = kSaIterations, .seed = kAlgorithmSeed}));
-  mappers.push_back(std::make_unique<SortSelectSwapMapper>());
+                                                       kAlgorithmSeed,
+                                                       parallel));
+  AnnealingParams sa{.iterations = kSaIterations, .seed = kAlgorithmSeed};
+  sa.parallel = parallel;
+  mappers.push_back(std::make_unique<AnnealingMapper>(sa));
+  mappers.push_back(std::make_unique<SortSelectSwapMapper>(
+      SssOptions{.parallel = parallel}));
   return mappers;
+}
+
+ParallelConfig bench_parallel_config() {
+  ParallelConfig config;  // deterministic, hardware threads
+  if (const char* env = std::getenv("NOCMAP_THREADS")) {
+    config.num_threads =
+        static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  return config;
 }
 
 void print_header(const std::string& title, const std::string& paper_ref) {
@@ -61,6 +75,32 @@ void save_table(const TextTable& table, const std::string& name) {
   const std::filesystem::path path = dir / (name + ".csv");
   table.save_csv(path.string());
   std::cout << "[csv: " << path.string() << "]\n";
+}
+
+void save_speedup_json(const std::string& name,
+                       const std::vector<SpeedupRecord>& records) {
+  const std::filesystem::path dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cout << "(could not create " << dir.string()
+              << "; skipping JSON export)\n";
+    return;
+  }
+  const std::filesystem::path path = dir / (name + ".json");
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << name << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SpeedupRecord& r = records[i];
+    out << "    {\"scenario\": \"" << r.scenario
+        << "\", \"threads\": " << r.threads
+        << ", \"serial_ms\": " << r.serial_ms
+        << ", \"parallel_ms\": " << r.parallel_ms
+        << ", \"speedup\": " << r.speedup() << "}"
+        << (i + 1 < records.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  std::cout << "[json: " << path.string() << "]\n";
 }
 
 }  // namespace nocmap::bench

@@ -12,6 +12,7 @@
 #include "core/global_mapper.h"
 #include "core/metrics.h"
 #include "core/monte_carlo_mapper.h"
+#include "core/parallel.h"
 #include "core/random_mapper.h"
 #include "core/sss_mapper.h"
 #include "util/table.h"
@@ -37,8 +38,35 @@ ObmProblem standard_problem(const ConfigSpec& spec);
 ObmProblem standard_problem(const std::string& config_name);
 
 /// Freshly constructed mappers with the bench seeds, in paper order
-/// {Global, MC, SA, SSS}.
-std::vector<std::unique_ptr<Mapper>> paper_mappers();
+/// {Global, MC, SA, SSS}. The execution policy is deterministic, so any
+/// `parallel` value produces the same tables as the serial default — only
+/// the wall-clock changes.
+std::vector<std::unique_ptr<Mapper>> paper_mappers(
+    ParallelConfig parallel = ParallelConfig::serial_config());
+
+/// The execution policy for bench binaries: deterministic, with the worker
+/// count taken from the NOCMAP_THREADS environment variable (unset or 0
+/// means all hardware threads).
+ParallelConfig bench_parallel_config();
+
+/// One serial-vs-parallel wall-clock measurement of a bench scenario.
+struct SpeedupRecord {
+  std::string scenario;
+  std::size_t threads = 0;  ///< resolved worker count of the parallel run
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+
+  double speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  }
+};
+
+/// Persists speedup records as bench_results/<name>.json (with the derived
+/// speedup included per record) and announces the path. The JSON keeps a
+/// durable machine-readable trace of how the parallel engine scales on the
+/// machine the bench ran on.
+void save_speedup_json(const std::string& name,
+                       const std::vector<SpeedupRecord>& records);
 
 /// Prints the standard bench header (binary purpose + setup line).
 void print_header(const std::string& title, const std::string& paper_ref);

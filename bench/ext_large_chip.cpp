@@ -1,19 +1,41 @@
 // Extension: the paper's headline experiment re-run on a 256-core chip
 // (16x16 mesh, 4 applications x 64 threads, C1..C8 rate statistics) — the
 // "tens to hundreds of cores" future the paper's introduction motivates.
+// Also the headline scenario for the parallel engine: per configuration,
+// the SSS sweep is timed serial and parallel (deterministic mode, so both
+// produce the same mapping) and the speedups are saved as JSON.
+#include <chrono>
+#include <functional>
 #include <iostream>
 
 #include "bench_common.h"
+
+namespace {
+
+double ms_of(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 int main() {
   using namespace nocmap;
   bench::print_header("ext_large_chip — Figure 9 on a 16x16 / 256-core CMP",
                       "scale extension of the paper's 8x8 evaluation");
+  const ParallelConfig parallel = bench::bench_parallel_config();
+  std::cout << "Parallel MC/SA/SSS: " << parallel.resolved_threads()
+            << " worker(s), deterministic\n";
 
   TextTable t({"cfg", "Global max-APL", "MC max-APL", "SA max-APL",
-               "SSS max-APL", "Global dev", "SSS dev"});
+               "SSS max-APL", "Global dev", "SSS dev", "SSS [ms]",
+               "SSS par [ms]"});
   std::vector<double> sums(4, 0.0);
   double g_dev_sum = 0.0, s_dev_sum = 0.0;
+  std::vector<bench::SpeedupRecord> speedups;
 
   for (const auto& spec : parsec_table3_configs()) {
     const Mesh mesh = Mesh::square(16);
@@ -25,15 +47,30 @@ int main() {
         synthesize_workload(spec, bench::kWorkloadSeed, opt));
 
     GlobalMapper global;
-    MonteCarloMapper mc(2000, bench::kAlgorithmSeed);  // scaled-down trials
-    AnnealingMapper sa(AnnealingParams{.iterations = 100000,
-                                       .seed = bench::kAlgorithmSeed});
-    SortSelectSwapMapper sss;
+    MonteCarloMapper mc(2000, bench::kAlgorithmSeed,  // scaled-down trials
+                        parallel);
+    AnnealingParams sa_params{.iterations = 100000,
+                              .seed = bench::kAlgorithmSeed};
+    sa_params.parallel = parallel;
+    AnnealingMapper sa(sa_params);
+    SortSelectSwapMapper sss(
+        SssOptions{.parallel = ParallelConfig::serial_config()});
+    SortSelectSwapMapper sss_par(SssOptions{.parallel = parallel});
+
+    Mapping ms, mp;
+    const double sss_ms = ms_of([&] { ms = sss.map(problem); });
+    const double sss_par_ms = ms_of([&] { mp = sss_par.map(problem); });
+    if (mp.thread_to_tile != ms.thread_to_tile) {
+      std::cout << "  *** DETERMINISM VIOLATION on " << spec.name
+                << ": parallel SSS diverged from serial ***\n";
+    }
+    speedups.push_back(
+        {spec.name, parallel.resolved_threads(), sss_ms, sss_par_ms});
 
     const LatencyReport rg = evaluate(problem, global.map(problem));
     const LatencyReport rm = evaluate(problem, mc.map(problem));
     const LatencyReport ra = evaluate(problem, sa.map(problem));
-    const LatencyReport rs = evaluate(problem, sss.map(problem));
+    const LatencyReport rs = evaluate(problem, ms);
     sums[0] += rg.max_apl;
     sums[1] += rm.max_apl;
     sums[2] += ra.max_apl;
@@ -41,10 +78,12 @@ int main() {
     g_dev_sum += rg.dev_apl;
     s_dev_sum += rs.dev_apl;
     t.add_row({spec.name, fmt(rg.max_apl), fmt(rm.max_apl), fmt(ra.max_apl),
-               fmt(rs.max_apl), fmt(rg.dev_apl, 3), fmt(rs.dev_apl, 3)});
+               fmt(rs.max_apl), fmt(rg.dev_apl, 3), fmt(rs.dev_apl, 3),
+               fmt(sss_ms, 1), fmt(sss_par_ms, 1)});
   }
   t.print(std::cout);
   bench::save_table(t, "ext_large_chip");
+  bench::save_speedup_json("ext_large_chip_speedup", speedups);
 
   std::cout << "\nAverages: SSS vs Global max-APL "
             << fmt_percent(sums[3] / sums[0] - 1.0) << " (8x8 was ~-12%); "

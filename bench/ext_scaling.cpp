@@ -26,8 +26,14 @@ int main() {
   bench::print_header("ext_scaling — quality & runtime vs chip size",
                       "extension of paper Section IV.B complexity analysis");
 
+  const ParallelConfig parallel = bench::bench_parallel_config();
+  std::cout << "Parallel SSS: " << parallel.resolved_threads()
+            << " worker(s), deterministic\n";
+
   TextTable t({"mesh", "threads", "Global max-APL", "SSS max-APL",
-               "SSS vs Global", "Global [ms]", "SSS [ms]"});
+               "SSS vs Global", "Global [ms]", "SSS [ms]", "SSS par [ms]",
+               "speedup"});
+  std::vector<bench::SpeedupRecord> speedups;
 
   double prev_sss_ms = 0.0;
   std::uint32_t prev_side = 0;
@@ -41,17 +47,30 @@ int main() {
         synthesize_workload(parsec_config("C1"), bench::kWorkloadSeed, opt));
 
     GlobalMapper global;
-    SortSelectSwapMapper sss;
-    Mapping mg, ms;
+    SortSelectSwapMapper sss(
+        SssOptions{.parallel = ParallelConfig::serial_config()});
+    SortSelectSwapMapper sss_par(SssOptions{.parallel = parallel});
+    Mapping mg, ms, mp;
     const double global_ms = ms_of([&] { mg = global.map(problem); });
     const double sss_ms = ms_of([&] { ms = sss.map(problem); });
+    const double sss_par_ms = ms_of([&] { mp = sss_par.map(problem); });
     const LatencyReport rg = evaluate(problem, mg);
     const LatencyReport rs = evaluate(problem, ms);
+
+    // Deterministic-mode contract, checked at bench scale too: the
+    // parallel sweep must reproduce the serial mapping bit-for-bit.
+    if (mp.thread_to_tile != ms.thread_to_tile) {
+      std::cout << "  *** DETERMINISM VIOLATION at " << side << "x" << side
+                << ": parallel SSS diverged from serial ***\n";
+    }
+    speedups.push_back({std::to_string(side) + "x" + std::to_string(side),
+                        parallel.resolved_threads(), sss_ms, sss_par_ms});
 
     t.add_row({std::to_string(side) + "x" + std::to_string(side),
                std::to_string(mesh.num_tiles()), fmt(rg.max_apl),
                fmt(rs.max_apl), fmt_percent(rs.max_apl / rg.max_apl - 1.0),
-               fmt(global_ms, 2), fmt(sss_ms, 2)});
+               fmt(global_ms, 2), fmt(sss_ms, 2), fmt(sss_par_ms, 2),
+               fmt(speedups.back().speedup(), 2) + "x"});
 
     if (prev_side != 0 && prev_sss_ms > 0.0) {
       const double size_ratio =
@@ -67,6 +86,8 @@ int main() {
     prev_side = side;
   }
   t.print(std::cout);
+  bench::save_table(t, "ext_scaling");
+  bench::save_speedup_json("ext_scaling_speedup", speedups);
 
   std::cout << "\nEven at 16x16 (256 threads) SSS completes in well under a "
                "second, supporting the\npaper's dynamic-remapping use case "

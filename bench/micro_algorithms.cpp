@@ -74,7 +74,7 @@ void BM_MonteCarloPerTrial(benchmark::State& state) {
   const ObmProblem problem = problem_for_mesh(8);
   std::uint64_t seed = 0;
   for (auto _ : state) {
-    MonteCarloMapper mapper(64, ++seed, /*parallel=*/false);
+    MonteCarloMapper mapper(64, ++seed, ParallelConfig::serial_config());
     benchmark::DoNotOptimize(mapper.map(problem));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "core/cost_cache.h"
 #include "core/evaluator.h"
 #include "util/rng.h"
 
@@ -69,56 +71,82 @@ double objective_value(const MappingEvaluator& eval, std::size_t num_apps,
 
 Mapping AnnealingMapper::map(const ObmProblem& problem) {
   NOCMAP_REQUIRE(params_.iterations > 0, "SA needs at least one iteration");
+  NOCMAP_REQUIRE(params_.restarts > 0, "SA needs at least one restart");
   const std::size_t n = problem.num_threads();
   const std::size_t num_apps = problem.num_applications();
-  Rng rng(params_.seed);
+  const ThreadCostCache cache(problem.workload(), problem.model());
 
-  // Random initial state.
-  Mapping initial;
-  initial.thread_to_tile.resize(n);
-  {
-    const auto perm = random_permutation(n, rng);
-    for (std::size_t j = 0; j < n; ++j) {
-      initial.thread_to_tile[j] = static_cast<TileId>(perm[j]);
-    }
-  }
-  MappingEvaluator eval(problem, std::move(initial));
+  struct ChainResult {
+    Mapping best;
+    double obj = std::numeric_limits<double>::infinity();
+  };
 
-  double current = objective_value(eval, num_apps, params_.objective);
-  Mapping best = eval.mapping();
-  double best_obj = current;
-
-  // Temperature scale: relative to the max-APL magnitude so acceptance
-  // probabilities stay meaningful for all objectives.
-  const double scale = std::max(eval.max_apl(), 1.0);
-  const double t0 = std::max(params_.initial_temp_fraction * scale, 1e-9);
-  const double t_end = std::max(t0 * params_.final_temp_fraction, 1e-12);
-  const double alpha =
-      std::pow(t_end / t0, 1.0 / static_cast<double>(params_.iterations));
-
-  double temp = t0;
-  for (std::size_t it = 0; it < params_.iterations; ++it, temp *= alpha) {
-    const auto j1 = static_cast<std::size_t>(
-        rng.uniform_u32(static_cast<std::uint32_t>(n)));
-    const auto j2 = static_cast<std::size_t>(
-        rng.uniform_u32(static_cast<std::uint32_t>(n)));
-    if (j1 == j2) continue;
-
-    eval.swap_threads(j1, j2);
-    const double candidate = objective_value(eval, num_apps,
-                                             params_.objective);
-    const double delta = candidate - current;
-    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
-      current = candidate;
-      if (current < best_obj) {
-        best_obj = current;
-        best = eval.mapping();
+  // One full annealing chain driven by its own RNG stream. Chains share
+  // only the problem and the read-only cost cache, so any number of them
+  // can run concurrently.
+  auto run_chain = [&](Rng rng) -> ChainResult {
+    // Random initial state.
+    Mapping initial;
+    initial.thread_to_tile.resize(n);
+    {
+      const auto perm = random_permutation(n, rng);
+      for (std::size_t j = 0; j < n; ++j) {
+        initial.thread_to_tile[j] = static_cast<TileId>(perm[j]);
       }
-    } else {
-      eval.swap_threads(j1, j2);  // revert
     }
-  }
-  return best;
+    MappingEvaluator eval(problem, std::move(initial), cache);
+
+    double current = objective_value(eval, num_apps, params_.objective);
+    ChainResult result{eval.mapping(), current};
+
+    // Temperature scale: relative to the max-APL magnitude so acceptance
+    // probabilities stay meaningful for all objectives.
+    const double scale = std::max(eval.max_apl(), 1.0);
+    const double t0 = std::max(params_.initial_temp_fraction * scale, 1e-9);
+    const double t_end = std::max(t0 * params_.final_temp_fraction, 1e-12);
+    const double alpha =
+        std::pow(t_end / t0, 1.0 / static_cast<double>(params_.iterations));
+
+    double temp = t0;
+    for (std::size_t it = 0; it < params_.iterations; ++it, temp *= alpha) {
+      const auto j1 = static_cast<std::size_t>(
+          rng.uniform_u32(static_cast<std::uint32_t>(n)));
+      const auto j2 = static_cast<std::size_t>(
+          rng.uniform_u32(static_cast<std::uint32_t>(n)));
+      if (j1 == j2) continue;
+
+      eval.swap_threads(j1, j2);
+      const double candidate = objective_value(eval, num_apps,
+                                               params_.objective);
+      const double delta = candidate - current;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+        current = candidate;
+        if (current < result.obj) {
+          result.obj = current;
+          result.best = eval.mapping();
+        }
+      } else {
+        eval.swap_threads(j1, j2);  // revert
+      }
+    }
+    return result;
+  };
+
+  // The single-restart path is the canonical chain, seeded exactly as the
+  // classic serial annealer.
+  if (params_.restarts == 1) return run_chain(Rng(params_.seed)).best;
+
+  const std::vector<Rng> streams =
+      Rng(params_.seed).fork_streams(params_.restarts);
+  std::vector<ChainResult> results(params_.restarts);
+  ParallelTrialRunner runner(params_.parallel);
+  runner.for_each(params_.restarts,
+                  [&](std::size_t r) { results[r] = run_chain(streams[r]); });
+
+  std::vector<double> objectives;
+  objectives.reserve(results.size());
+  for (const ChainResult& r : results) objectives.push_back(r.obj);
+  return std::move(results[ParallelTrialRunner::argmin(objectives)].best);
 }
 
 }  // namespace nocmap

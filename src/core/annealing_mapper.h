@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/mapper.h"
+#include "core/parallel.h"
 
 namespace nocmap {
 
@@ -36,6 +37,15 @@ struct AnnealingParams {
   double final_temp_fraction = 1e-4;
   std::uint64_t seed = 1;
   AnnealObjective objective = AnnealObjective::kMaxApl;
+  /// Independent chains; the best final state wins (ties to the lowest
+  /// chain index). One restart (the default) is the classic single chain
+  /// seeded with `seed` exactly as before; with R > 1, chain r draws from
+  /// the forked stream Rng(seed).fork(r), so the result depends only on
+  /// (seed, R) — never on how chains are scheduled onto workers.
+  std::size_t restarts = 1;
+  /// How chains are executed; each chain is inherently sequential, so
+  /// parallelism comes from running restarts concurrently.
+  ParallelConfig parallel = {};
 };
 
 class AnnealingMapper final : public Mapper {

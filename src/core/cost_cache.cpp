@@ -1,0 +1,38 @@
+#include "core/cost_cache.h"
+
+#include "util/error.h"
+
+namespace nocmap {
+
+ThreadCostCache::ThreadCostCache(const Workload& workload,
+                                 const TileLatencyModel& model)
+    : num_threads_(workload.num_threads()),
+      num_tiles_(model.mesh().num_tiles()) {
+  costs_.resize(num_threads_ * num_tiles_);
+  rates_.resize(num_threads_);
+  for (std::size_t j = 0; j < num_threads_; ++j) {
+    const ThreadProfile& t = workload.thread(j);
+    rates_[j] = t.total_rate();
+    double* row = &costs_[j * num_tiles_];
+    for (std::size_t k = 0; k < num_tiles_; ++k) {
+      const auto tile = static_cast<TileId>(k);
+      row[k] = t.cache_rate * model.tc(tile) + t.memory_rate * model.tm(tile);
+    }
+  }
+}
+
+CostMatrix ThreadCostCache::sam_matrix(std::size_t first_thread,
+                                       std::span<const TileId> tiles) const {
+  const std::size_t n = tiles.size();
+  NOCMAP_REQUIRE(first_thread + n <= num_threads_,
+                 "SAM thread range out of cache bounds");
+  CostMatrix matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      matrix.at(j, k) = cost(first_thread + j, tiles[k]);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,53 @@
+// Memoized thread×tile placement-cost matrix (paper eq. 13).
+//
+// Every mapping algorithm ultimately scores a placement through the same
+// scalar: cost(j, k) = c_j·TC(k) + m_j·TM(k). SAM builds an n×n slice of it
+// per Hungarian call, the Global mapper builds the full N×N matrix, and the
+// incremental evaluator recomputes entries on every move — historically each
+// from the raw model. ThreadCostCache computes the full matrix once per
+// problem (O(N²) fused multiply-adds, ~50 µs at N = 256) and shares it:
+// SAM's Hungarian calls, the Global mapper, and the evaluator all read the
+// same immutable table. Immutability after construction also makes it safe
+// to read concurrently from the SSS window-evaluation workers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "assign/hungarian.h"
+#include "latency/model.h"
+#include "workload/workload.h"
+
+namespace nocmap {
+
+class ThreadCostCache {
+ public:
+  /// Builds the dense num_threads × num_tiles matrix eagerly.
+  ThreadCostCache(const Workload& workload, const TileLatencyModel& model);
+
+  std::size_t num_threads() const { return num_threads_; }
+  std::size_t num_tiles() const { return num_tiles_; }
+
+  /// cost(j, k) = c_j·TC(k) + m_j·TM(k) for global thread j on tile k.
+  double cost(std::size_t thread, TileId tile) const {
+    return costs_[thread * num_tiles_ + tile];
+  }
+
+  /// Total request rate (c_j + m_j) of global thread j — the APL
+  /// denominator contribution, cached alongside the costs.
+  double rate(std::size_t thread) const { return rates_[thread]; }
+
+  /// Dense n×n SAM cost matrix for the contiguous global thread range
+  /// [first_thread, first_thread + tiles.size()) against `tiles`.
+  CostMatrix sam_matrix(std::size_t first_thread,
+                        std::span<const TileId> tiles) const;
+
+ private:
+  std::size_t num_threads_;
+  std::size_t num_tiles_;
+  std::vector<double> costs_;  // row-major [thread][tile]
+  std::vector<double> rates_;
+};
+
+}  // namespace nocmap

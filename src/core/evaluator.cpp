@@ -6,10 +6,22 @@
 
 namespace nocmap {
 
+MappingEvaluator::MappingEvaluator(const ObmProblem& problem, Mapping initial,
+                                   const ThreadCostCache& cache)
+    : MappingEvaluator(problem, std::move(initial), &cache) {}
+
 MappingEvaluator::MappingEvaluator(const ObmProblem& problem, Mapping initial)
-    : problem_(&problem), mapping_(std::move(initial)) {
+    : MappingEvaluator(problem, std::move(initial), nullptr) {}
+
+MappingEvaluator::MappingEvaluator(const ObmProblem& problem, Mapping initial,
+                                   const ThreadCostCache* cache)
+    : problem_(&problem), cache_(cache), mapping_(std::move(initial)) {
   NOCMAP_REQUIRE(mapping_.is_valid_permutation(problem.num_threads()),
                  "initial mapping must be a valid permutation");
+  NOCMAP_REQUIRE(cache == nullptr ||
+                     (cache->num_threads() == problem.num_threads() &&
+                      cache->num_tiles() == problem.num_tiles()),
+                 "cost cache does not match the problem");
   const Workload& wl = problem.workload();
   const std::size_t num_apps = wl.num_applications();
 
@@ -21,11 +33,10 @@ MappingEvaluator::MappingEvaluator(const ObmProblem& problem, Mapping initial)
   numerator_.assign(num_apps, 0.0);
   denominator_.assign(num_apps, 0.0);
   for (std::size_t i = 0; i < num_apps; ++i) {
+    recompute_app(i);
     for (std::size_t j = wl.first_thread(i); j < wl.last_thread(i); ++j) {
-      numerator_[i] += thread_cost(j, mapping_.tile_of(j));
       denominator_[i] += wl.thread(j).total_rate();
     }
-    total_numerator_ += numerator_[i];
     total_denominator_ += denominator_[i];
   }
 }
@@ -57,24 +68,31 @@ double MappingEvaluator::objective() const {
 }
 
 double MappingEvaluator::g_apl() const {
-  return total_denominator_ > 0.0 ? total_numerator_ / total_denominator_
-                                  : 0.0;
+  if (total_denominator_ <= 0.0) return 0.0;
+  double total_numerator = 0.0;
+  for (const double n : numerator_) total_numerator += n;
+  return total_numerator / total_denominator_;
 }
 
 double MappingEvaluator::thread_cost(std::size_t j, TileId tile) const {
+  if (cache_ != nullptr) return cache_->cost(j, tile);
   const ThreadProfile& t = problem_->workload().thread(j);
   const TileLatencyModel& model = problem_->model();
   return t.cache_rate * model.tc(tile) + t.memory_rate * model.tm(tile);
 }
 
-void MappingEvaluator::move_thread_unchecked(std::size_t j, TileId tile) {
-  const std::size_t app = problem_->workload().application_of(j);
-  const TileId old_tile = mapping_.thread_to_tile[j];
-  const double delta = thread_cost(j, tile) - thread_cost(j, old_tile);
-  numerator_[app] += delta;
-  total_numerator_ += delta;
+void MappingEvaluator::place_thread(std::size_t j, TileId tile) {
   mapping_.thread_to_tile[j] = tile;
   tile_to_thread_[tile] = j;
+}
+
+void MappingEvaluator::recompute_app(std::size_t app) {
+  const Workload& wl = problem_->workload();
+  double sum = 0.0;
+  for (std::size_t j = wl.first_thread(app); j < wl.last_thread(app); ++j) {
+    sum += thread_cost(j, mapping_.tile_of(j));
+  }
+  numerator_[app] = sum;
 }
 
 void MappingEvaluator::swap_threads(std::size_t j1, std::size_t j2) {
@@ -83,8 +101,13 @@ void MappingEvaluator::swap_threads(std::size_t j1, std::size_t j2) {
   if (j1 == j2) return;
   const TileId t1 = mapping_.tile_of(j1);
   const TileId t2 = mapping_.tile_of(j2);
-  move_thread_unchecked(j1, t2);
-  move_thread_unchecked(j2, t1);
+  place_thread(j1, t2);
+  place_thread(j2, t1);
+  const Workload& wl = problem_->workload();
+  const std::size_t a1 = wl.application_of(j1);
+  const std::size_t a2 = wl.application_of(j2);
+  recompute_app(std::min(a1, a2));
+  if (a1 != a2) recompute_app(std::max(a1, a2));
 }
 
 void MappingEvaluator::apply_group(std::span<const std::size_t> threads,
@@ -102,9 +125,18 @@ void MappingEvaluator::apply_group(std::span<const std::size_t> threads,
   std::sort(target.begin(), target.end());
   NOCMAP_ASSERT(held == target);
 #endif
+  const Workload& wl = problem_->workload();
+  // Collect the affected applications, then recompute each once in
+  // ascending order (the order is fixed so the result is too).
+  group_apps_.clear();
   for (std::size_t idx = 0; idx < threads.size(); ++idx) {
-    move_thread_unchecked(threads[idx], tiles[idx]);
+    place_thread(threads[idx], tiles[idx]);
+    group_apps_.push_back(wl.application_of(threads[idx]));
   }
+  std::sort(group_apps_.begin(), group_apps_.end());
+  group_apps_.erase(std::unique(group_apps_.begin(), group_apps_.end()),
+                    group_apps_.end());
+  for (const std::size_t app : group_apps_) recompute_app(app);
 }
 
 double MappingEvaluator::recomputed_max_apl() const {

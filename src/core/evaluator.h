@@ -5,17 +5,30 @@
 // evaluates one two-thread swap per iteration; recomputing eq. 5 from
 // scratch each time would cost O(N) per evaluation. This evaluator keeps
 // per-application weighted-latency numerators (denominators are mapping-
-// independent) so a thread move is O(1) and a max-APL query is O(A).
+// independent) so a move costs O(N/A) — only the affected applications —
+// and a max-APL query is O(A).
 //
 // The evaluator owns a live mapping that always remains a valid permutation:
 // mutations are expressed as swaps of two threads' tiles or as group
 // re-assignments of a thread set onto the tile set it already occupies.
+//
+// State purity invariant: after any mutation, each affected application's
+// numerator is recomputed from scratch in canonical (thread-ascending)
+// order, never updated by adding a delta. The numerators are therefore a
+// pure function of the current mapping — bit-identical no matter which
+// sequence of swaps produced it. This is what makes the parallel SSS sweep
+// exact: an apply/revert pair restores the evaluator bit-perfectly (a
+// delta-based update would leave (n + d) - d != n rounding residue that
+// accumulates with evaluation history), so a snapshot copy that evaluates
+// and reverts candidate permutations sees exactly the state the serial
+// sweep would see. See DESIGN.md, "Parallelism & determinism".
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "core/cost_cache.h"
 #include "core/problem.h"
 
 namespace nocmap {
@@ -25,6 +38,16 @@ class MappingEvaluator {
   /// Takes the problem (kept by reference; must outlive the evaluator) and
   /// an initial valid mapping.
   MappingEvaluator(const ObmProblem& problem, Mapping initial);
+
+  /// Cache-backed variant: thread_cost reads the shared memoized matrix
+  /// instead of recomputing eq. 13 from the model on every query. The cache
+  /// (which must outlive the evaluator and match the problem's workload and
+  /// model) stores exactly the values the uncached path computes, so results
+  /// are identical; it is read-only here, so any number of evaluators —
+  /// including per-worker snapshot copies in the parallel SSS sweep — can
+  /// share one cache concurrently.
+  MappingEvaluator(const ObmProblem& problem, Mapping initial,
+                   const ThreadCostCache& cache);
 
   const Mapping& mapping() const { return mapping_; }
   /// Thread currently running on `tile`.
@@ -56,14 +79,21 @@ class MappingEvaluator {
   double recomputed_max_apl() const;
 
  private:
-  void move_thread_unchecked(std::size_t j, TileId tile);
+  MappingEvaluator(const ObmProblem& problem, Mapping initial,
+                   const ThreadCostCache* cache);
+  /// Updates position state only; callers must recompute_app afterwards.
+  void place_thread(std::size_t j, TileId tile);
+  /// Rebuilds one application's numerator from the live mapping in
+  /// canonical thread order (the purity invariant above).
+  void recompute_app(std::size_t app);
 
   const ObmProblem* problem_;
+  const ThreadCostCache* cache_ = nullptr;  // optional, not owned
   Mapping mapping_;
   std::vector<std::size_t> tile_to_thread_;
   std::vector<double> numerator_;    // per app: Σ c_j TC(π(j)) + m_j TM(π(j))
   std::vector<double> denominator_;  // per app: Σ c_j + m_j (constant)
-  double total_numerator_ = 0.0;
+  std::vector<std::size_t> group_apps_;  // apply_group scratch
   double total_denominator_ = 0.0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/cost_cache.h"
 #include "core/metrics.h"
 #include "util/rng.h"
 
@@ -12,18 +13,16 @@ namespace {
 
 using Genome = std::vector<TileId>;
 
-double fitness(const ObmProblem& problem, const Genome& genome) {
+double fitness(const ObmProblem& problem, const ThreadCostCache& cache,
+               const Genome& genome) {
   const Workload& wl = problem.workload();
-  const TileLatencyModel& model = problem.model();
   double worst = 0.0;
   for (std::size_t i = 0; i < wl.num_applications(); ++i) {
     double weighted = 0.0;
     double volume = 0.0;
     for (std::size_t j = wl.first_thread(i); j < wl.last_thread(i); ++j) {
-      const ThreadProfile& t = wl.thread(j);
-      weighted += t.cache_rate * model.tc(genome[j]) +
-                  t.memory_rate * model.tm(genome[j]);
-      volume += t.total_rate();
+      weighted += cache.cost(j, genome[j]);
+      volume += cache.rate(j);
     }
     if (volume > 0.0) {
       worst = std::max(worst, problem.app_weight(i) * weighted / volume);
@@ -71,6 +70,8 @@ Mapping GeneticMapper::map(const ObmProblem& problem) {
 
   const std::size_t n = problem.num_threads();
   Rng rng(params_.seed);
+  const ThreadCostCache cache(problem.workload(), problem.model());
+  ParallelTrialRunner runner(params_.parallel);
 
   struct Individual {
     Genome genome;
@@ -82,8 +83,12 @@ Mapping GeneticMapper::map(const ObmProblem& problem) {
     for (std::size_t v : random_permutation(n, rng)) {
       ind.genome.push_back(static_cast<TileId>(v));
     }
-    ind.fitness = fitness(problem, ind.genome);
   }
+  // Fitness is a pure function of the genome, so evaluations fan out; the
+  // breeding RNG stream above never depends on them mid-generation.
+  runner.for_each(population.size(), [&](std::size_t i) {
+    population[i].fitness = fitness(problem, cache, population[i].genome);
+  });
 
   auto by_fitness = [](const Individual& x, const Individual& y) {
     return x.fitness < y.fitness;
@@ -120,9 +125,13 @@ Mapping GeneticMapper::map(const ObmProblem& problem) {
         const auto y = rng.uniform_u32(static_cast<std::uint32_t>(n));
         std::swap(child.genome[x], child.genome[y]);
       }
-      child.fitness = fitness(problem, child.genome);
       next.push_back(std::move(child));
     }
+    // Offspring fitness fans out (elites keep theirs from last generation).
+    runner.for_each(next.size() - params_.elites, [&](std::size_t i) {
+      Individual& ind = next[params_.elites + i];
+      ind.fitness = fitness(problem, cache, ind.genome);
+    });
     population = std::move(next);
   }
 

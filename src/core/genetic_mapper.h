@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/mapper.h"
+#include "core/parallel.h"
 
 namespace nocmap {
 
@@ -24,6 +25,11 @@ struct GeneticParams {
   double mutation_rate = 0.2;  ///< probability of one swap per offspring
   std::size_t elites = 2;      ///< individuals copied unchanged
   std::uint64_t seed = 1;
+  /// Fitness-evaluation execution policy. Breeding (selection, PMX,
+  /// mutation) stays on one RNG stream and is serial; the per-individual
+  /// fitness evaluations are pure and fan out, so results are identical at
+  /// any thread count.
+  ParallelConfig parallel = {};
 };
 
 class GeneticMapper final : public Mapper {

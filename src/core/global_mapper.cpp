@@ -1,22 +1,20 @@
 #include "core/global_mapper.h"
 
+#include <numeric>
+
 #include "assign/hungarian.h"
+#include "core/cost_cache.h"
 
 namespace nocmap {
 
 Mapping GlobalMapper::map(const ObmProblem& problem) {
   const std::size_t n = problem.num_threads();
-  const Workload& wl = problem.workload();
-  const TileLatencyModel& model = problem.model();
 
-  CostMatrix cost(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const ThreadProfile& t = wl.thread(j);
-    for (std::size_t k = 0; k < n; ++k) {
-      cost.at(j, k) = t.cache_rate * model.tc(static_cast<TileId>(k)) +
-                      t.memory_rate * model.tm(static_cast<TileId>(k));
-    }
-  }
+  // The full N×N Hungarian cost matrix is exactly the memoized eq.-13 table.
+  const ThreadCostCache cache(problem.workload(), problem.model());
+  std::vector<TileId> all_tiles(n);
+  std::iota(all_tiles.begin(), all_tiles.end(), TileId{0});
+  const CostMatrix cost = cache.sam_matrix(0, all_tiles);
 
   const Assignment assignment = solve_assignment(cost);
   Mapping mapping;

@@ -1,31 +1,28 @@
 #include "core/monte_carlo_mapper.h"
 
 #include <limits>
-#include <mutex>
 
-#include "core/metrics.h"
+#include "core/cost_cache.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace nocmap {
 
 namespace {
 
 /// OBM objective (weighted max-APL) of a permutation, computed directly in
-/// O(N + A); avoids the full LatencyReport allocation in the hot trial loop.
-double quick_objective(const ObmProblem& problem,
+/// O(N + A) from the memoized eq.-13 table; avoids both the full
+/// LatencyReport allocation and the per-trial cost recomputation in the hot
+/// trial loop.
+double quick_objective(const ObmProblem& problem, const ThreadCostCache& cache,
                        const std::vector<std::size_t>& perm) {
   const Workload& wl = problem.workload();
-  const TileLatencyModel& model = problem.model();
   double worst = 0.0;
   for (std::size_t i = 0; i < wl.num_applications(); ++i) {
     double weighted = 0.0;
     double volume = 0.0;
     for (std::size_t j = wl.first_thread(i); j < wl.last_thread(i); ++j) {
-      const ThreadProfile& t = wl.thread(j);
-      const auto k = static_cast<TileId>(perm[j]);
-      weighted += t.cache_rate * model.tc(k) + t.memory_rate * model.tm(k);
-      volume += t.total_rate();
+      weighted += cache.cost(j, static_cast<TileId>(perm[j]));
+      volume += cache.rate(j);
     }
     if (volume > 0.0) {
       const double apl = problem.app_weight(i) * weighted / volume;
@@ -46,6 +43,7 @@ Mapping MonteCarloMapper::map(const ObmProblem& problem) {
   NOCMAP_REQUIRE(trials_ > 0, "MonteCarloMapper needs at least one trial");
   const std::size_t n = problem.num_threads();
   const Rng base(seed_);
+  const ThreadCostCache cache(problem.workload(), problem.model());
 
   // Fixed shard geometry (independent of thread count) keeps the search
   // deterministic: shard s always runs the same trials with stream fork(s).
@@ -53,26 +51,21 @@ Mapping MonteCarloMapper::map(const ObmProblem& problem) {
   const std::size_t shards = (trials_ + kShardSize - 1) / kShardSize;
   std::vector<ShardBest> best_per_shard(shards);
 
-  auto run_shard = [&](std::size_t s) {
+  ParallelTrialRunner runner(parallel_);
+  runner.for_each(shards, [&](std::size_t s) {
     Rng rng = base.fork(s);
     ShardBest& best = best_per_shard[s];
     const std::size_t lo = s * kShardSize;
     const std::size_t hi = std::min(lo + kShardSize, trials_);
     for (std::size_t t = lo; t < hi; ++t) {
       auto perm = random_permutation(n, rng);
-      const double apl = quick_objective(problem, perm);
+      const double apl = quick_objective(problem, cache, perm);
       if (apl < best.max_apl) {
         best.max_apl = apl;
         best.perm = std::move(perm);
       }
     }
-  };
-
-  if (parallel_ && shards > 1) {
-    parallel_for(0, shards, run_shard);
-  } else {
-    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
-  }
+  });
 
   // Deterministic merge: lowest max-APL, ties to the lowest shard index.
   const ShardBest* winner = &best_per_shard.front();

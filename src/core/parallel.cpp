@@ -1,0 +1,39 @@
+#include "core/parallel.h"
+
+#include <thread>
+
+namespace nocmap {
+
+std::size_t ParallelConfig::resolved_threads() const {
+  if (num_threads != 0) return num_threads;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ParallelTrialRunner::ParallelTrialRunner(const ParallelConfig& config)
+    : threads_(config.resolved_threads()) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+ParallelTrialRunner::~ParallelTrialRunner() = default;
+
+void ParallelTrialRunner::for_each(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (pool_ == nullptr || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool_->parallel_for(0, count, body);
+}
+
+std::size_t ParallelTrialRunner::argmin(std::span<const double> scores) {
+  if (scores.empty()) return npos;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] < scores[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace nocmap

@@ -1,0 +1,87 @@
+// Deterministic parallel execution for the mapping algorithms.
+//
+// Every parallel path in the mappers follows the same discipline so results
+// are bit-identical at any thread count:
+//
+//   1. *Fixed work geometry.* The decomposition into independent units
+//      (Monte-Carlo shards, SA restarts, GA fitness slots, SSS window
+//      rounds) depends only on the problem and the algorithm parameters —
+//      never on the thread count. Threads only change which worker executes
+//      a unit.
+//   2. *Pure units, slotted results.* Each unit reads shared state that is
+//      frozen for the duration of the fan-out and writes only to its own
+//      pre-allocated result slot. Randomized units draw from their own
+//      forked RNG stream (Rng::fork / fork_streams).
+//   3. *Canonical merges.* Results are combined serially in slot order with
+//      deterministic tie-breaking (lowest index wins).
+//
+// ParallelConfig is the knob threaded through every mapper's options and the
+// bench layer; ParallelTrialRunner is the execution engine the mappers share.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "util/thread_pool.h"
+
+namespace nocmap {
+
+/// Parallelism policy for a mapper.
+struct ParallelConfig {
+  /// Worker count: 0 means std::thread::hardware_concurrency(), 1 runs
+  /// everything inline on the calling thread (the serial path).
+  std::size_t num_threads = 0;
+  /// When true (the default) every algorithm follows its canonical serial
+  /// protocol exactly, so the mapping is bit-identical to the 1-thread run.
+  /// When false, SSS may commit window swaps evaluated against a stale
+  /// snapshot (batched commits with revalidation): still reproducible
+  /// run-to-run and race-free, but following the batched protocol rather
+  /// than the canonical one, trading a little solution quality for fewer
+  /// discarded speculative evaluations.
+  bool deterministic = true;
+
+  /// The concrete worker count (resolves 0 to the hardware concurrency).
+  std::size_t resolved_threads() const;
+  /// True when everything runs inline on the calling thread.
+  bool serial() const { return resolved_threads() == 1; }
+
+  static ParallelConfig serial_config() { return {1, true}; }
+};
+
+/// Runs batches of independent work units for a mapper, inline when the
+/// config resolves to one thread and on an owned ThreadPool otherwise.
+/// The unit body must be pure up to its own result slot (discipline above);
+/// under that contract for_each is deterministic by construction.
+class ParallelTrialRunner {
+ public:
+  explicit ParallelTrialRunner(const ParallelConfig& config);
+  ~ParallelTrialRunner();
+
+  ParallelTrialRunner(const ParallelTrialRunner&) = delete;
+  ParallelTrialRunner& operator=(const ParallelTrialRunner&) = delete;
+
+  std::size_t num_threads() const { return threads_; }
+  bool parallel() const { return pool_ != nullptr; }
+
+  /// Runs body(i) for i in [0, count) and blocks until all complete.
+  /// Single-unit batches run inline even on a parallel runner: there is
+  /// nothing to overlap, and the result is identical either way. Units in
+  /// this codebase are chunky (trial shards, SA chains, Hungarian solves,
+  /// window rounds), so any batch of two or more is worth dispatching.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& body);
+
+  /// Canonical merge: index of the smallest score, ties to the lowest
+  /// index. Empty input returns npos.
+  static std::size_t argmin(std::span<const double> scores);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::size_t threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // null on the serial path
+};
+
+}  // namespace nocmap

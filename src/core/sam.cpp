@@ -4,6 +4,24 @@
 
 namespace nocmap {
 
+namespace {
+
+/// Shared tail of both overloads: solve the assignment and translate the
+/// column permutation back to tile ids.
+SamResult finish_sam(const CostMatrix& cost, std::span<const TileId> tiles,
+                     double volume) {
+  const Assignment assignment = solve_assignment(cost);
+  SamResult result;
+  result.tiles.resize(tiles.size());
+  for (std::size_t j = 0; j < tiles.size(); ++j) {
+    result.tiles[j] = tiles[assignment.row_to_col[j]];
+  }
+  result.apl = volume > 0.0 ? assignment.total_cost / volume : 0.0;
+  return result;
+}
+
+}  // namespace
+
 SamResult solve_sam(std::span<const ThreadProfile> threads,
                     std::span<const TileId> tiles,
                     const TileLatencyModel& model) {
@@ -13,24 +31,26 @@ SamResult solve_sam(std::span<const ThreadProfile> threads,
 
   const std::size_t n = threads.size();
   CostMatrix cost(n, n);
+  double volume = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t k = 0; k < n; ++k) {
       cost.at(j, k) = threads[j].cache_rate * model.tc(tiles[k]) +
                       threads[j].memory_rate * model.tm(tiles[k]);
     }
-  }
-
-  const Assignment assignment = solve_assignment(cost);
-
-  SamResult result;
-  result.tiles.resize(n);
-  double volume = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    result.tiles[j] = tiles[assignment.row_to_col[j]];
     volume += threads[j].total_rate();
   }
-  result.apl = volume > 0.0 ? assignment.total_cost / volume : 0.0;
-  return result;
+  return finish_sam(cost, tiles, volume);
+}
+
+SamResult solve_sam(const ThreadCostCache& cache, std::size_t first_thread,
+                    std::span<const TileId> tiles) {
+  NOCMAP_REQUIRE(!tiles.empty(), "SAM on empty application");
+  const std::size_t n = tiles.size();
+  double volume = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    volume += cache.rate(first_thread + j);
+  }
+  return finish_sam(cache.sam_matrix(first_thread, tiles), tiles, volume);
 }
 
 }  // namespace nocmap

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cost_cache.h"
 #include "latency/model.h"
 #include "workload/workload.h"
 
@@ -27,5 +28,13 @@ struct SamResult {
 SamResult solve_sam(std::span<const ThreadProfile> threads,
                     std::span<const TileId> tiles,
                     const TileLatencyModel& model);
+
+/// Cache-backed variant for the contiguous global thread range
+/// [first_thread, first_thread + tiles.size()): the cost matrix comes from
+/// the shared memoized ThreadCostCache instead of being recomputed from the
+/// model. Pure with respect to the cache, so concurrent calls (e.g. the
+/// per-application SAM solves of the parallel SSS stages) are safe.
+SamResult solve_sam(const ThreadCostCache& cache, std::size_t first_thread,
+                    std::span<const TileId> tiles);
 
 }  // namespace nocmap

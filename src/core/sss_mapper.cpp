@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
+#include <vector>
 
+#include "core/cost_cache.h"
 #include "core/evaluator.h"
 #include "core/sam.h"
 
@@ -18,116 +21,274 @@ std::vector<TileId> SortSelectSwapMapper::sorted_tiles(
   return tiles;
 }
 
+namespace {
+
+/// One stage-3 window: tiles sorted[start + x*step] for x in [0, w).
+struct Window {
+  std::size_t start = 0;
+  std::size_t step = 0;
+};
+
+/// The canonical stage-3 window order — step size ascending, start position
+/// ascending — exactly the order the serial greedy sweep visits them in.
+std::vector<Window> window_schedule(std::size_t n, std::size_t w,
+                                    std::size_t max_step) {
+  std::vector<Window> windows;
+  for (std::size_t step = 1; step <= max_step; ++step) {
+    if ((w - 1) * step >= n) break;  // window no longer fits
+    const std::size_t last_start = n - (w - 1) * step;
+    for (std::size_t start = 0; start < last_start; ++start) {
+      windows.push_back({start, step});
+    }
+  }
+  return windows;
+}
+
+/// Reusable buffers for evaluate_window. After a call, window_threads and
+/// best_tiles describe the last evaluated window.
+struct WindowScratch {
+  std::vector<std::size_t> perm_idx;
+  std::vector<TileId> window_tiles;
+  std::vector<std::size_t> window_threads;
+  std::vector<TileId> permuted;
+  std::vector<TileId> best_tiles;
+
+  explicit WindowScratch(std::size_t w)
+      : perm_idx(w), window_tiles(w), window_threads(w), permuted(w),
+        best_tiles(w) {}
+};
+
+/// Tries every non-identity permutation of the threads on one window's
+/// tiles and records the best strictly-improving one in s.best_tiles.
+/// Leaves `eval` bit-exactly in its entry state: each candidate is applied
+/// and then reverted, and the evaluator's purity invariant (numerators are
+/// a function of the current mapping only, never of the apply history)
+/// makes the revert an exact restoration.
+///
+/// Both the serial sweep and the parallel speculation workers evaluate
+/// windows through this one function, so a worker running it on a snapshot
+/// copy performs floating-point operations identical to the serial sweep's
+/// — which is what makes speculative results committable verbatim.
+bool evaluate_window(MappingEvaluator& eval, std::span<const TileId> sorted,
+                     const Window& win, WindowScratch& s) {
+  const std::size_t w = s.window_tiles.size();
+  for (std::size_t x = 0; x < w; ++x) {
+    s.window_tiles[x] = sorted[win.start + x * win.step];
+    s.window_threads[x] = eval.thread_on(s.window_tiles[x]);
+  }
+
+  // Baseline = identity permutation of the window.
+  double best_obj = eval.objective();
+  s.best_tiles = s.window_tiles;
+  bool improved = false;
+
+  std::iota(s.perm_idx.begin(), s.perm_idx.end(), std::size_t{0});
+  while (std::next_permutation(s.perm_idx.begin(), s.perm_idx.end())) {
+    for (std::size_t x = 0; x < w; ++x) {
+      s.permuted[x] = s.window_tiles[s.perm_idx[x]];
+    }
+    eval.apply_group(s.window_threads, s.permuted);
+    const double obj = eval.objective();
+    if (obj < best_obj) {
+      best_obj = obj;
+      s.best_tiles = s.permuted;
+      improved = true;
+    }
+    eval.apply_group(s.window_threads, s.window_tiles);  // exact revert
+  }
+  return improved;
+}
+
+/// The canonical serial sweep: evaluate each window in order, greedily
+/// committing improvements.
+void sweep_windows_serial(MappingEvaluator& eval,
+                          std::span<const TileId> sorted,
+                          std::span<const Window> windows, std::size_t w) {
+  WindowScratch s(w);
+  for (const Window& win : windows) {
+    if (evaluate_window(eval, sorted, win, s)) {
+      eval.apply_group(s.window_threads, s.best_tiles);
+    }
+  }
+}
+
+/// Speculative parallel sweep (snapshot-evaluate-commit rounds).
+///
+/// Each round speculatively evaluates a block of upcoming windows in
+/// parallel against the current evaluator state, then walks the results in
+/// canonical order. Windows that found no improvement are exact — a serial
+/// sweep would have evaluated them against the same state and left it
+/// untouched. The first improving window is therefore also exact and its
+/// permutation is committed verbatim. In deterministic mode the rest of the
+/// round is discarded (their snapshots are stale) and the next round starts
+/// after the commit, which replays the serial greedy protocol bit-exactly
+/// at any thread count. In batched mode the walk instead continues,
+/// revalidating each later improving window against the live state before
+/// committing — fewer discarded evaluations, but the protocol (and hence
+/// the mapping) follows the round geometry rather than the serial order.
+///
+/// The round size adapts: it shrinks to a couple of windows per worker
+/// while commits are frequent (early, step-1 windows) and doubles while
+/// rounds come back dry (the long converged tail), bounding the speculation
+/// wasted on stale rounds.
+void sweep_windows_parallel(MappingEvaluator& eval,
+                            std::span<const TileId> sorted,
+                            std::span<const Window> windows, std::size_t w,
+                            ParallelTrialRunner& runner, bool deterministic) {
+  struct WindowResult {
+    bool improved = false;
+    std::vector<TileId> best_tiles;
+  };
+
+  const std::size_t threads = runner.num_threads();
+  const std::size_t min_round = threads * 4;
+  const std::size_t max_round = std::max<std::size_t>(min_round, 2048);
+  std::vector<WindowResult> results(windows.size());
+  WindowScratch commit_scratch(w);
+
+  std::size_t pos = 0;
+  std::size_t round = min_round;
+  while (pos < windows.size()) {
+    const std::size_t end = std::min(pos + round, windows.size());
+    const std::size_t count = end - pos;
+
+    // Fan out: each task copies the evaluator once (evaluate_window
+    // restores it exactly between windows) and fills its result slots.
+    const std::size_t tasks = std::min(count, threads * 2);
+    const std::size_t per_task = (count + tasks - 1) / tasks;
+    runner.for_each(tasks, [&, pos, end, per_task](std::size_t t) {
+      const std::size_t lo = pos + t * per_task;
+      const std::size_t hi = std::min(lo + per_task, end);
+      if (lo >= hi) return;
+      MappingEvaluator snapshot = eval;
+      WindowScratch s(w);
+      for (std::size_t i = lo; i < hi; ++i) {
+        WindowResult& r = results[i];
+        r.improved = evaluate_window(snapshot, sorted, windows[i], s);
+        if (r.improved) r.best_tiles = s.best_tiles;
+      }
+    });
+
+    // Serial canonical commit walk.
+    std::size_t next = end;
+    bool committed = false;
+    for (std::size_t i = pos; i < end; ++i) {
+      if (!results[i].improved) continue;
+      if (!committed) {
+        // Every earlier window in the round left the state untouched, so
+        // this speculation saw the exact serial state: commit verbatim.
+        const Window& win = windows[i];
+        for (std::size_t x = 0; x < w; ++x) {
+          commit_scratch.window_tiles[x] = sorted[win.start + x * win.step];
+          commit_scratch.window_threads[x] =
+              eval.thread_on(commit_scratch.window_tiles[x]);
+        }
+        eval.apply_group(commit_scratch.window_threads,
+                         results[i].best_tiles);
+        committed = true;
+        if (deterministic) {
+          next = i + 1;  // later speculations are stale; restart after i
+          break;
+        }
+      } else if (evaluate_window(eval, sorted, windows[i], commit_scratch)) {
+        // Batched mode: the state moved since the snapshot, so revalidate
+        // on the live evaluator before committing.
+        eval.apply_group(commit_scratch.window_threads,
+                         commit_scratch.best_tiles);
+      }
+    }
+    pos = next;
+    round = committed ? min_round : std::min(round * 2, max_round);
+  }
+}
+
+}  // namespace
+
 Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
   NOCMAP_REQUIRE(options_.window_size >= 2, "window size must be >= 2");
   const Workload& wl = problem.workload();
-  const TileLatencyModel& model = problem.model();
   const std::size_t n = problem.num_threads();
+  const std::size_t num_apps = wl.num_applications();
+
+  // Shared eq.-13 table: every SAM Hungarian call and every evaluator query
+  // below reads this one immutable matrix.
+  const ThreadCostCache cache(wl, problem.model());
+  ParallelTrialRunner runner(options_.parallel);
 
   // ---- Stage 1: sort tiles by cache APL.
-  const std::vector<TileId> sorted = sorted_tiles(model);
+  const std::vector<TileId> sorted = sorted_tiles(problem.model());
 
   // ---- Stage 2: per application, select evenly spread tiles from the
-  // remaining list and SAM-assign its threads to them.
+  // remaining list (sequential by construction — each application picks
+  // from what its predecessors left), then SAM-assign threads to the chosen
+  // tiles; the per-application Hungarian solves are independent and fan out.
   Mapping mapping;
   mapping.thread_to_tile.resize(n);
-  std::vector<TileId> avail = sorted;
-  for (std::size_t i = 0; i < wl.num_applications(); ++i) {
-    const std::size_t dn = wl.last_thread(i) - wl.first_thread(i);
-    NOCMAP_ASSERT(dn <= avail.size());
+  std::vector<std::vector<TileId>> chosen(num_apps);
+  {
+    std::vector<TileId> avail = sorted;
+    for (std::size_t i = 0; i < num_apps; ++i) {
+      const std::size_t dn = wl.last_thread(i) - wl.first_thread(i);
+      NOCMAP_ASSERT(dn <= avail.size());
 
-    // Middle of each of dn equal-length sections of the remaining list.
-    // Indices are strictly increasing because |avail|/dn >= 1.
-    std::vector<std::size_t> picks(dn);
-    for (std::size_t s = 0; s < dn; ++s) {
-      picks[s] = static_cast<std::size_t>(
-          (static_cast<double>(s) + 0.5) * static_cast<double>(avail.size()) /
-          static_cast<double>(dn));
-    }
-    std::vector<TileId> chosen(dn);
-    for (std::size_t s = 0; s < dn; ++s) chosen[s] = avail[picks[s]];
+      // Middle of each of dn equal-length sections of the remaining list.
+      // Indices are strictly increasing because |avail|/dn >= 1.
+      std::vector<std::size_t> picks(dn);
+      for (std::size_t s = 0; s < dn; ++s) {
+        picks[s] = static_cast<std::size_t>(
+            (static_cast<double>(s) + 0.5) *
+            static_cast<double>(avail.size()) / static_cast<double>(dn));
+      }
+      chosen[i].resize(dn);
+      for (std::size_t s = 0; s < dn; ++s) chosen[i][s] = avail[picks[s]];
 
-    const auto threads =
-        std::span(wl.threads()).subspan(wl.first_thread(i), dn);
-    const SamResult sam = solve_sam(threads, chosen, model);
-    for (std::size_t t = 0; t < dn; ++t) {
-      mapping.thread_to_tile[wl.first_thread(i) + t] = sam.tiles[t];
-    }
-
-    // Remove the chosen tiles (descending index order keeps picks valid).
-    for (std::size_t s = dn; s-- > 0;) {
-      avail.erase(avail.begin() +
-                  static_cast<std::ptrdiff_t>(picks[s]));
+      // Remove the chosen tiles (descending index order keeps picks valid).
+      for (std::size_t s = dn; s-- > 0;) {
+        avail.erase(avail.begin() + static_cast<std::ptrdiff_t>(picks[s]));
+      }
     }
   }
+  runner.for_each(num_apps, [&](std::size_t i) {
+    const std::size_t lo = wl.first_thread(i);
+    const SamResult sam = solve_sam(cache, lo, chosen[i]);
+    for (std::size_t t = 0; t < chosen[i].size(); ++t) {
+      mapping.thread_to_tile[lo + t] = sam.tiles[t];
+    }
+  });
 
   // ---- Stage 3: greedy sliding-window permutation swaps over the sorted
   // tile list.
   if (options_.window_swaps) {
-    MappingEvaluator eval(problem, std::move(mapping));
+    MappingEvaluator eval(problem, std::move(mapping), cache);
     const std::size_t w = options_.window_size;
     const std::size_t max_step =
-        options_.max_step > 0 ? options_.max_step : std::max<std::size_t>(
-                                                        n / 4, 1);
-
-    std::vector<std::size_t> perm_idx(w);
-    std::vector<TileId> window_tiles(w);
-    std::vector<std::size_t> window_threads(w);
-    std::vector<TileId> permuted(w);
-    std::vector<TileId> best_tiles(w);
-
-    for (std::size_t step = 1; step <= max_step; ++step) {
-      if ((w - 1) * step >= n) break;  // window no longer fits
-      const std::size_t last_start = n - (w - 1) * step;
-      for (std::size_t start = 0; start < last_start; ++start) {
-        for (std::size_t x = 0; x < w; ++x) {
-          window_tiles[x] = sorted[start + x * step];
-          window_threads[x] = eval.thread_on(window_tiles[x]);
-        }
-
-        // Baseline = identity permutation of the window.
-        double best_obj = eval.objective();
-        best_tiles = window_tiles;
-        bool improved = false;
-
-        std::iota(perm_idx.begin(), perm_idx.end(), std::size_t{0});
-        while (std::next_permutation(perm_idx.begin(), perm_idx.end())) {
-          for (std::size_t x = 0; x < w; ++x) {
-            permuted[x] = window_tiles[perm_idx[x]];
-          }
-          eval.apply_group(window_threads, permuted);
-          const double obj = eval.objective();
-          if (obj < best_obj) {
-            best_obj = obj;
-            best_tiles = permuted;
-            improved = true;
-          }
-          eval.apply_group(window_threads, window_tiles);  // revert
-        }
-
-        if (improved) {
-          eval.apply_group(window_threads, best_tiles);
-        }
-      }
+        options_.max_step > 0 ? options_.max_step
+                              : std::max<std::size_t>(n / 4, 1);
+    const std::vector<Window> windows = window_schedule(n, w, max_step);
+    if (runner.parallel()) {
+      sweep_windows_parallel(eval, sorted, windows, w, runner,
+                             options_.parallel.deterministic);
+    } else {
+      sweep_windows_serial(eval, sorted, windows, w);
     }
     mapping = eval.mapping();
   }
 
-  // ---- Stage 4: final SAM repair inside each application.
+  // ---- Stage 4: final SAM repair inside each application — independent
+  // per-application solves over disjoint mapping ranges, so they fan out.
   if (options_.final_sam) {
-    for (std::size_t i = 0; i < wl.num_applications(); ++i) {
+    runner.for_each(num_apps, [&](std::size_t i) {
       const std::size_t lo = wl.first_thread(i);
       const std::size_t dn = wl.last_thread(i) - lo;
       std::vector<TileId> tiles(dn);
       for (std::size_t t = 0; t < dn; ++t) {
         tiles[t] = mapping.thread_to_tile[lo + t];
       }
-      const auto threads = std::span(wl.threads()).subspan(lo, dn);
-      const SamResult sam = solve_sam(threads, tiles, model);
+      const SamResult sam = solve_sam(cache, lo, tiles);
       for (std::size_t t = 0; t < dn; ++t) {
         mapping.thread_to_tile[lo + t] = sam.tiles[t];
       }
-    }
+    });
   }
 
   return mapping;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "core/mapper.h"
+#include "core/parallel.h"
 
 namespace nocmap {
 
@@ -34,6 +35,12 @@ struct SssOptions {
   std::size_t window_size = 4;
   /// Largest window step; 0 means the paper's N/4.
   std::size_t max_step = 0;
+  /// Parallel execution policy. The default (hardware threads,
+  /// deterministic) produces a mapping bit-identical to the serial sweep:
+  /// stage 2/4 SAM solves fan out per application, and the stage-3 sweep
+  /// speculatively evaluates window rounds against snapshots, committing in
+  /// canonical serial order (see DESIGN.md, "Parallelism & determinism").
+  ParallelConfig parallel = {};
 };
 
 class SortSelectSwapMapper final : public Mapper {

@@ -103,6 +103,13 @@ Rng Rng::fork(std::uint64_t salt) const {
              splitmix64(stream_ + salt * 0x9e3779b97f4a7c15ULL));
 }
 
+std::vector<Rng> Rng::fork_streams(std::size_t count) const {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) streams.push_back(fork(i));
+  return streams;
+}
+
 std::vector<std::size_t> identity_permutation(std::size_t n) {
   std::vector<std::size_t> p(n);
   for (std::size_t i = 0; i < n; ++i) p[i] = i;

@@ -79,6 +79,12 @@ class Rng {
   /// seed material and `salt`; use for per-worker/per-node streams.
   Rng fork(std::uint64_t salt) const;
 
+  /// `count` independent generators, one per trial: fork_streams(n)[i] is
+  /// exactly fork(i). Materializing the whole family up front lets parallel
+  /// trial runners hand stream i to trial i regardless of which worker
+  /// executes it, so results are identical at any thread count.
+  std::vector<Rng> fork_streams(std::size_t count) const;
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

@@ -1,7 +1,7 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
-#include <exception>
+#include <algorithm>
+#include <utility>
 
 #include "util/error.h"
 
@@ -45,6 +45,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_task_error_) {
+    std::exception_ptr error = std::exchange(first_task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 bool ThreadPool::on_worker_thread() const { return t_current_pool == this; }
@@ -63,9 +68,19 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // A throwing submit() task must not kill the worker (std::terminate)
+      // or corrupt the in-flight count; stash the first error for
+      // wait_idle(). parallel_for bodies never reach this path — they are
+      // wrapped in their own capture below.
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !first_task_error_) first_task_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -85,34 +100,41 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // Per-call completion state. Everything lives on this stack frame, so the
+  // final notification must happen while done_mutex is held: the waiter can
+  // only destroy the frame after it reacquires the mutex, which orders the
+  // destruction after the last worker's notify. (Notifying after unlock
+  // would race worker-side cv access against frame destruction.)
+  struct CallState {
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+    std::exception_ptr first_error;
+  } state;
   std::size_t launched = 0;
 
   for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = std::min(lo + chunk, end);
     ++launched;
-    submit([&, lo, hi] {
+    submit([&state, &body, lo, hi] {
+      std::exception_ptr error;
       try {
         for (std::size_t i = lo; i < hi; ++i) body(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      {
-        std::lock_guard lock(done_mutex);
-        ++done;
-      }
-      done_cv.notify_one();
+      std::lock_guard lock(state.done_mutex);
+      if (error && !state.first_error) state.first_error = error;
+      ++state.done;
+      state.done_cv.notify_one();
     });
   }
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == launched; });
-  if (first_error) std::rethrow_exception(first_error);
+  std::unique_lock lock(state.done_mutex);
+  state.done_cv.wait(lock, [&] { return state.done == launched; });
+  // All chunks have drained: the pool is reusable and the error (if any) is
+  // rethrown exactly once, to this caller only.
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

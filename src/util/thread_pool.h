@@ -1,14 +1,17 @@
 // A small fixed-size thread pool with a blocking parallel_for.
 //
 // Used to parallelize embarrassingly parallel sweeps: Monte-Carlo mapping
-// trials, per-configuration bench runs, and batched network simulations.
-// Deterministic results are preserved by giving each index range its own
-// forked RNG stream at the call site.
+// trials, SSS window-evaluation rounds, per-configuration bench runs, and
+// batched network simulations. Deterministic results are preserved by giving
+// each index its own result slot (and, where randomness is involved, its own
+// forked RNG stream) at the call site — chunking across workers never feeds
+// one iteration's output into another.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,20 +31,29 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; fire-and-forget (use parallel_for for joining).
+  /// Enqueues a task; fire-and-forget (use parallel_for for joining). If the
+  /// task throws, the pool stays alive and the first captured exception is
+  /// rethrown by the next wait_idle() call.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception thrown by a submitted task since the previous wait_idle()
+  /// (the error slot is cleared by the rethrow).
   void wait_idle();
 
   /// Runs body(i) for i in [begin, end), chunked across the pool, and blocks
   /// until all iterations complete. Exceptions from the body are rethrown
-  /// (first one wins).
+  /// exactly once (the first one wins; later ones are dropped), after every
+  /// chunk has drained — so the pool is immediately reusable and no stale
+  /// error leaks into a later call. This holds for every range/size
+  /// combination, including a single-worker pool and ranges smaller than
+  /// the worker count.
   ///
   /// Re-entrancy: when called from one of this pool's own worker threads
   /// (nested parallelism), the range runs inline on the calling thread —
   /// blocking a worker on subtasks the same pool must execute would
-  /// deadlock once all workers are blocked.
+  /// deadlock once all workers are blocked. Concurrent parallel_for and
+  /// submit calls from different external threads are safe.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
@@ -58,9 +70,11 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_task_error_;  // from raw submit() tasks
 };
 
-/// Convenience: one-shot parallel_for on a transient pool sized to hardware.
+/// Convenience: one-shot parallel_for on a shared process-wide pool sized to
+/// hardware.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

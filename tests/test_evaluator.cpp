@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "core/metrics.h"
 #include "util/rng.h"
 #include "workload/synthesis.h"
@@ -142,6 +146,147 @@ TEST(Evaluator, ThreadCostMatchesFormula) {
   const double expected = t.cache_rate * p.model().tc(20) +
                           t.memory_rate * p.model().tm(20);
   EXPECT_NEAR(eval.thread_cost(5, 20), expected, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Long mixed-operation property sweeps. These lock in the purity invariant
+// the parallel SSS sweep depends on: evaluator state must be a function of
+// the current mapping only, never of the mutation history that produced it.
+
+/// One random mutation: a two-thread swap or a small group permutation.
+void random_op(MappingEvaluator& eval, std::size_t n, Rng& rng) {
+  if (rng.uniform_u32(2) == 0) {
+    eval.swap_threads(rng.uniform_u32(static_cast<std::uint32_t>(n)),
+                      rng.uniform_u32(static_cast<std::uint32_t>(n)));
+    return;
+  }
+  const std::size_t k = 3 + rng.uniform_u32(3);  // group of 3..5 threads
+  const std::vector<std::size_t> perm = random_permutation(n, rng);
+  const std::vector<std::size_t> threads(perm.begin(),
+                                         perm.begin() +
+                                             static_cast<std::ptrdiff_t>(k));
+  std::vector<TileId> tiles(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    tiles[i] = eval.mapping().tile_of(threads[i]);
+  }
+  // Rotate by a random amount so the group actually moves.
+  std::rotate(tiles.begin(),
+              tiles.begin() + 1 + rng.uniform_u32(static_cast<std::uint32_t>(
+                                      k - 1)),
+              tiles.end());
+  eval.apply_group(threads, tiles);
+}
+
+void run_mixed_op_sweep(const ObmProblem& p, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = p.num_threads();
+  Mapping start;
+  for (std::size_t v : random_permutation(n, rng)) {
+    start.thread_to_tile.push_back(static_cast<TileId>(v));
+  }
+  MappingEvaluator eval(p, start);
+  for (int step = 1; step <= 10000; ++step) {
+    random_op(eval, n, rng);
+    if (step % 500 == 0) {
+      // Incremental objective vs. a full from-scratch evaluation.
+      const LatencyReport r = evaluate(p, eval.mapping());
+      ASSERT_NEAR(eval.objective(), r.objective, 1e-9) << "step " << step;
+      ASSERT_NEAR(eval.max_apl(), r.max_apl, 1e-9) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(eval.mapping().is_valid_permutation(n));
+  // Purity: the state must be bit-identical to a fresh evaluator built from
+  // the final mapping — 10k mutations may leave no floating-point residue.
+  const MappingEvaluator fresh(p, eval.mapping());
+  EXPECT_EQ(eval.objective(), fresh.objective());
+  EXPECT_EQ(eval.max_apl(), fresh.max_apl());
+  EXPECT_EQ(eval.g_apl(), fresh.g_apl());
+  for (std::size_t i = 0; i < p.num_applications(); ++i) {
+    EXPECT_EQ(eval.apl(i), fresh.apl(i)) << "app " << i;
+  }
+}
+
+TEST(EvaluatorProperty, TenThousandMixedOpsNoDrift) {
+  run_mixed_op_sweep(c1_problem(), 2024);
+}
+
+TEST(EvaluatorProperty, TenThousandMixedOpsWeightedQos) {
+  // Weighted objective max_i w_i·APL_i must track the recomputed report
+  // through the same mutation storm.
+  const Mesh mesh = Mesh::square(8);
+  ObmProblem p(TileLatencyModel(mesh, LatencyParams{}),
+               synthesize_workload(parsec_config("C4"), 23),
+               {2.0, 0.5, 1.0, 1.25});
+  ASSERT_TRUE(p.is_weighted());
+  run_mixed_op_sweep(p, 777);
+}
+
+TEST(EvaluatorProperty, CachedAndUncachedEvaluatorsAgree) {
+  const ObmProblem p = c1_problem();
+  const ThreadCostCache cache(p.workload(), p.model());
+  Rng rng(9);
+  const Mapping m = random_mapping(p.num_threads(), rng);
+  MappingEvaluator plain(p, m);
+  MappingEvaluator cached(p, m, cache);
+  Rng ops_a(55), ops_b(55);
+  for (int step = 0; step < 2000; ++step) {
+    random_op(plain, p.num_threads(), ops_a);
+    random_op(cached, p.num_threads(), ops_b);
+    ASSERT_EQ(plain.mapping().thread_to_tile, cached.mapping().thread_to_tile);
+  }
+  // The cache stores exactly the values the uncached path computes, so the
+  // two evaluators agree bit-for-bit, not just within tolerance.
+  EXPECT_EQ(plain.objective(), cached.objective());
+  EXPECT_EQ(plain.max_apl(), cached.max_apl());
+}
+
+TEST(EvaluatorProperty, ZeroTrafficApplicationIsIgnoredByMaxApl) {
+  // An application whose threads never issue requests has an undefined APL;
+  // the evaluator defines it as 0 and must keep it out of max/objective.
+  const Mesh mesh = Mesh::square(4);
+  Application busy{"busy", std::vector<ThreadProfile>(
+                               8, ThreadProfile{0.4, 0.1})};
+  Application idle{"idle", std::vector<ThreadProfile>(
+                               8, ThreadProfile{0.0, 0.0})};
+  ObmProblem p(TileLatencyModel(mesh, LatencyParams{}),
+               Workload({busy, idle}));
+  MappingEvaluator eval(p, p.identity_mapping());
+  EXPECT_EQ(eval.apl(1), 0.0);
+  EXPECT_GT(eval.apl(0), 0.0);
+  EXPECT_EQ(eval.max_apl(), eval.apl(0));
+  EXPECT_EQ(eval.objective(), eval.apl(0));
+  // Swapping an idle thread with a busy one only moves the busy APL, and
+  // the incremental state stays exact.
+  Rng rng(3);
+  for (int step = 0; step < 1000; ++step) {
+    random_op(eval, p.num_threads(), rng);
+    ASSERT_EQ(eval.apl(1), 0.0);
+  }
+  const MappingEvaluator fresh(p, eval.mapping());
+  EXPECT_EQ(eval.max_apl(), fresh.max_apl());
+  EXPECT_NEAR(eval.max_apl(), eval.recomputed_max_apl(), 1e-9);
+}
+
+TEST(EvaluatorProperty, StateIsIndependentOfMutationHistory) {
+  // Two different mutation paths that land on the same mapping must produce
+  // bit-identical evaluator state (the core of parallel determinism: a
+  // snapshot that churns through candidates and reverts equals one that
+  // never touched them).
+  const ObmProblem p = c1_problem();
+  MappingEvaluator churned(p, p.identity_mapping());
+  Rng rng(12);
+  for (int step = 0; step < 200; ++step) {
+    const auto j1 =
+        rng.uniform_u32(static_cast<std::uint32_t>(p.num_threads()));
+    const auto j2 =
+        rng.uniform_u32(static_cast<std::uint32_t>(p.num_threads()));
+    churned.swap_threads(j1, j2);
+    churned.swap_threads(j1, j2);  // and immediately undo
+  }
+  const MappingEvaluator untouched(p, p.identity_mapping());
+  EXPECT_EQ(churned.objective(), untouched.objective());
+  EXPECT_EQ(churned.mapping().thread_to_tile,
+            untouched.mapping().thread_to_tile);
 }
 
 TEST(Evaluator, SwapAcrossAppsChangesBothApls) {

@@ -88,8 +88,8 @@ TEST(MonteCarloMapper, MoreTrialsNeverWorse) {
   const ObmProblem p = make_problem("C3", 6);
   // With a shared seed, the first 200 trials of the 2000-trial search are
   // the same shards, so the 2000-trial result can only be better or equal.
-  MonteCarloMapper small(256, 9, /*parallel=*/false);
-  MonteCarloMapper large(2048, 9, /*parallel=*/false);
+  MonteCarloMapper small(256, 9, ParallelConfig::serial_config());
+  MonteCarloMapper large(2048, 9, ParallelConfig::serial_config());
   const double small_obj = evaluate(p, small.map(p)).max_apl;
   const double large_obj = evaluate(p, large.map(p)).max_apl;
   EXPECT_LE(large_obj, small_obj + 1e-9);
@@ -97,8 +97,8 @@ TEST(MonteCarloMapper, MoreTrialsNeverWorse) {
 
 TEST(MonteCarloMapper, ParallelMatchesSequential) {
   const ObmProblem p = make_problem("C4", 7);
-  MonteCarloMapper seq(2000, 21, /*parallel=*/false);
-  MonteCarloMapper par(2000, 21, /*parallel=*/true);
+  MonteCarloMapper seq(2000, 21, ParallelConfig::serial_config());
+  MonteCarloMapper par(2000, 21, ParallelConfig{4});
   EXPECT_EQ(seq.map(p).thread_to_tile, par.map(p).thread_to_tile);
 }
 

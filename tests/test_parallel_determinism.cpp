@@ -1,0 +1,209 @@
+// Race-proofing regression layer for the deterministic parallel mapping
+// engine: for every parallelized algorithm (SSS window sweep + SAM fan-out,
+// Monte-Carlo shards, SA restarts, GA fitness), the mapping produced at 2
+// and 8 workers must be byte-identical to the 1-worker/serial mapping on
+// every seeded workload. Any scheduling-dependent read, stale snapshot
+// commit, or non-canonical merge shows up here as a mapping mismatch long
+// before it would show up as a subtle quality regression.
+//
+// Suites named *Large* run the 12x12 / 144-thread instances; they carry the
+// ctest label "slow" (see tests/CMakeLists.txt) so sanitizer jobs can run
+// the tier1 subset quickly, while a full `ctest` still covers them.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/annealing_mapper.h"
+#include "core/genetic_mapper.h"
+#include "core/metrics.h"
+#include "core/monte_carlo_mapper.h"
+#include "core/sss_mapper.h"
+#include "workload/synthesis.h"
+
+namespace nocmap {
+namespace {
+
+constexpr std::size_t kNumSeeds = 20;
+constexpr std::array<std::size_t, 2> kWorkerCounts = {2, 8};
+
+/// Square mesh of the given side, four applications, C1..C8 rate statistics
+/// cycled by seed so the 20 workloads span the paper's configuration table.
+ObmProblem seeded_problem(std::uint32_t side, std::uint64_t seed) {
+  const Mesh mesh = Mesh::square(side);
+  SynthesisOptions opt;
+  opt.num_applications = 4;
+  opt.threads_per_app = mesh.num_tiles() / 4;
+  const auto configs = parsec_table3_configs();
+  const ConfigSpec& spec = configs[seed % configs.size()];
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    synthesize_workload(spec, 1000 + seed, opt));
+}
+
+void expect_identical(const ObmProblem& problem, const Mapping& serial,
+                      const Mapping& parallel, std::size_t workers,
+                      std::uint64_t seed, const char* what) {
+  EXPECT_EQ(serial.thread_to_tile, parallel.thread_to_tile)
+      << what << ": mapping diverged at " << workers << " workers (seed "
+      << seed << ")";
+  // Byte-identical objectives follow from byte-identical mappings, but
+  // assert them independently so a failure names the damage.
+  EXPECT_EQ(evaluate(problem, serial).objective,
+            evaluate(problem, parallel).objective)
+      << what << ": objective diverged at " << workers << " workers (seed "
+      << seed << ")";
+}
+
+// ---------------------------------------------------------------------------
+// SSS: the stage-3 speculative window sweep plus the stage-2/4 SAM fan-out.
+
+void check_sss_determinism(std::uint32_t side) {
+  for (std::uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    const ObmProblem p = seeded_problem(side, seed);
+    const Mapping serial =
+        SortSelectSwapMapper(
+            SssOptions{.parallel = ParallelConfig::serial_config()})
+            .map(p);
+    ASSERT_TRUE(serial.is_valid_permutation(p.num_threads()));
+    for (const std::size_t workers : kWorkerCounts) {
+      const Mapping parallel =
+          SortSelectSwapMapper(SssOptions{.parallel = {workers, true}})
+              .map(p);
+      expect_identical(p, serial, parallel, workers, seed, "SSS");
+    }
+  }
+}
+
+TEST(ParallelDeterminismSss, Mesh4x4) { check_sss_determinism(4); }
+TEST(ParallelDeterminismSss, Mesh8x8) { check_sss_determinism(8); }
+TEST(ParallelDeterminismSssLarge, Mesh12x12) { check_sss_determinism(12); }
+
+TEST(ParallelDeterminismSss, AblationVariantsMatchToo) {
+  // The parallel protocol must hold for every stage combination, not just
+  // the default pipeline.
+  const ObmProblem p = seeded_problem(8, 3);
+  const std::vector<SssOptions> variants = {
+      {.window_swaps = false},
+      {.final_sam = false},
+      {.window_size = 3},
+      {.max_step = 2},
+  };
+  for (SssOptions opt : variants) {
+    opt.parallel = ParallelConfig::serial_config();
+    const Mapping serial = SortSelectSwapMapper(opt).map(p);
+    opt.parallel = {8, true};
+    const Mapping parallel = SortSelectSwapMapper(opt).map(p);
+    EXPECT_EQ(serial.thread_to_tile, parallel.thread_to_tile);
+  }
+}
+
+TEST(ParallelDeterminismSss, BatchedModeIsReproducibleAndValid) {
+  // deterministic=false trades the canonical commit order for fewer
+  // discarded speculations; it must still be race-free: the same thread
+  // count twice gives the same mapping, and the result is a permutation.
+  const ObmProblem p = seeded_problem(8, 5);
+  const SssOptions batched{.parallel = {4, false}};
+  const Mapping a = SortSelectSwapMapper(batched).map(p);
+  const Mapping b = SortSelectSwapMapper(batched).map(p);
+  EXPECT_EQ(a.thread_to_tile, b.thread_to_tile);
+  EXPECT_TRUE(a.is_valid_permutation(p.num_threads()));
+  // And it should not be far from the canonical result in quality.
+  const Mapping canonical =
+      SortSelectSwapMapper(
+          SssOptions{.parallel = ParallelConfig::serial_config()})
+          .map(p);
+  EXPECT_LE(evaluate(p, a).objective,
+            1.05 * evaluate(p, canonical).objective);
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo: fixed shard geometry + per-shard forked streams.
+
+void check_mc_determinism(std::uint32_t side) {
+  for (std::uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    const ObmProblem p = seeded_problem(side, seed);
+    const Mapping serial =
+        MonteCarloMapper(2048, seed + 1, ParallelConfig::serial_config())
+            .map(p);
+    for (const std::size_t workers : kWorkerCounts) {
+      const Mapping parallel =
+          MonteCarloMapper(2048, seed + 1, ParallelConfig{workers, true})
+              .map(p);
+      expect_identical(p, serial, parallel, workers, seed, "MC");
+    }
+  }
+}
+
+TEST(ParallelDeterminismMc, Mesh4x4) { check_mc_determinism(4); }
+TEST(ParallelDeterminismMc, Mesh8x8) { check_mc_determinism(8); }
+TEST(ParallelDeterminismMcLarge, Mesh12x12) { check_mc_determinism(12); }
+
+// ---------------------------------------------------------------------------
+// Simulated annealing: independent restart chains, canonical argmin merge.
+
+void check_sa_determinism(std::uint32_t side) {
+  for (std::uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    const ObmProblem p = seeded_problem(side, seed);
+    AnnealingParams params{.iterations = 4000, .seed = seed + 1,
+                           .restarts = 4};
+    params.parallel = ParallelConfig::serial_config();
+    const Mapping serial = AnnealingMapper(params).map(p);
+    for (const std::size_t workers : kWorkerCounts) {
+      params.parallel = {workers, true};
+      const Mapping parallel = AnnealingMapper(params).map(p);
+      expect_identical(p, serial, parallel, workers, seed, "SA");
+    }
+  }
+}
+
+TEST(ParallelDeterminismSa, Mesh4x4) { check_sa_determinism(4); }
+TEST(ParallelDeterminismSa, Mesh8x8) { check_sa_determinism(8); }
+TEST(ParallelDeterminismSaLarge, Mesh12x12) { check_sa_determinism(12); }
+
+TEST(ParallelDeterminismSa, SingleRestartIsTheClassicChain) {
+  // restarts=1 must reproduce the pre-parallel annealer exactly: same seed,
+  // same chain, regardless of the parallel config.
+  const ObmProblem p = seeded_problem(8, 7);
+  AnnealingParams classic{.iterations = 10000, .seed = 42};
+  AnnealingParams configured{.iterations = 10000, .seed = 42};
+  configured.parallel = {8, true};
+  EXPECT_EQ(AnnealingMapper(classic).map(p).thread_to_tile,
+            AnnealingMapper(configured).map(p).thread_to_tile);
+}
+
+TEST(ParallelDeterminismSa, MoreRestartsNeverWorse) {
+  // Chains 0..R-1 are a prefix of chains 0..R'-1 for R' > R, and the merge
+  // keeps the best, so more restarts can only improve the objective.
+  const ObmProblem p = seeded_problem(8, 11);
+  AnnealingParams one{.iterations = 3000, .seed = 5, .restarts = 1};
+  AnnealingParams four{.iterations = 3000, .seed = 5, .restarts = 4};
+  // Note: restarts=1 uses the unforked classic stream, so compare 2 vs 4,
+  // which share fork(0) and fork(1).
+  AnnealingParams two{.iterations = 3000, .seed = 5, .restarts = 2};
+  const double obj2 = evaluate(p, AnnealingMapper(two).map(p)).objective;
+  const double obj4 = evaluate(p, AnnealingMapper(four).map(p)).objective;
+  EXPECT_LE(obj4, obj2 + 1e-12);
+  (void)one;
+}
+
+// ---------------------------------------------------------------------------
+// Genetic search: serial breeding stream, parallel fitness slots.
+
+TEST(ParallelDeterminismGa, Mesh8x8AcrossWorkerCounts) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const ObmProblem p = seeded_problem(8, seed);
+    GeneticParams params{.population = 32, .generations = 25,
+                         .seed = seed + 1};
+    params.parallel = ParallelConfig::serial_config();
+    const Mapping serial = GeneticMapper(params).map(p);
+    for (const std::size_t workers : kWorkerCounts) {
+      params.parallel = {workers, true};
+      const Mapping parallel = GeneticMapper(params).map(p);
+      expect_identical(p, serial, parallel, workers, seed, "GA");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocmap

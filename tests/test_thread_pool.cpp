@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace nocmap {
@@ -104,6 +105,158 @@ TEST(FreeParallelFor, Works) {
   std::vector<std::atomic<int>> hits(200);
   parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Exception-path hardening. These pin down the contract the mapping engine
+// relies on: a throwing body never kills a worker, never wedges the pool,
+// and surfaces to exactly one caller exactly once.
+
+TEST(ThreadPoolExceptions, ThrowOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("one worker");
+                        }),
+      std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolExceptions, ThrowWithRangeSmallerThanPool) {
+  // Fewer chunks than workers: some workers never see a task; the waiter
+  // must still be released and the error still delivered.
+  ThreadPool pool(8);
+  EXPECT_THROW(pool.parallel_for(0, 2,
+                                 [](std::size_t) {
+                                   throw std::runtime_error("tiny range");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 2, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolExceptions, EveryChunkThrowingRethrowsExactlyOnce) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    int caught = 0;
+    try {
+      pool.parallel_for(0, 64, [](std::size_t) {
+        throw std::runtime_error("all chunks throw");
+      });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+    EXPECT_EQ(caught, 1) << "round " << round;
+  }
+  // After 20 fully-throwing calls the pool still works and no stale error
+  // leaks into a clean call.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolExceptions, NestedInlineBodyThrowPropagates) {
+  // A nested parallel_for runs inline on the worker; its exception must
+  // surface through the outer chunk's capture, not kill the worker.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::size_t outer) {
+                                   pool.parallel_for(
+                                       0, 4, [outer](std::size_t inner) {
+                                         if (outer == 1 && inner == 2) {
+                                           throw std::runtime_error("nested");
+                                         }
+                                       });
+                                 }),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 8, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolExceptions, SubmitTaskErrorSurfacesInWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("submitted"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error slot is cleared by the rethrow: a second wait is clean and
+  // the pool remains usable.
+  EXPECT_NO_THROW(pool.wait_idle());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolExceptions, SubmitErrorKeepsFirstOfMany) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([] { throw std::runtime_error("many"); });
+  }
+  int caught = 0;
+  try {
+    pool.wait_idle();
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPoolStress, ConcurrentCallersWithExceptionIsolation) {
+  // Several external threads drive parallel_for on one shared pool while a
+  // background thread keeps submit()-ing; one caller's throwing body must
+  // reach that caller only, and every other caller's work must be intact.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kRounds = 25;
+  std::vector<std::vector<int>> sums(kCallers, std::vector<int>(kRounds, 0));
+  std::atomic<int> submitted{0};
+  std::atomic<bool> stop_submitting{false};
+  std::atomic<int> thrower_catches{0};
+
+  std::thread submitter([&] {
+    while (!stop_submitting.load()) {
+      pool.submit([&submitted] { ++submitted; });
+      pool.wait_idle();  // also exercises waiter/worker interleaving
+    }
+  });
+
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        if (c == 0) {  // caller 0 always throws mid-range
+          try {
+            pool.parallel_for(0, 97, [](std::size_t i) {
+              if (i == 31) throw std::runtime_error("isolated");
+            });
+          } catch (const std::runtime_error&) {
+            ++thrower_catches;
+          }
+        } else {
+          std::atomic<int> local{0};
+          pool.parallel_for(0, 200, [&local](std::size_t) { ++local; });
+          sums[static_cast<std::size_t>(c)][round] = local.load();
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  stop_submitting.store(true);
+  submitter.join();
+
+  EXPECT_EQ(thrower_catches.load(), kRounds);
+  for (int c = 1; c < kCallers; ++c) {
+    for (int round = 0; round < kRounds; ++round) {
+      EXPECT_EQ(sums[static_cast<std::size_t>(c)][round], 200)
+          << "caller " << c << " round " << round;
+    }
+  }
+  EXPECT_GT(submitted.load(), 0);
 }
 
 }  // namespace
