@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the committed BENCH_*.json baselines.
+
+Compares a freshly generated benchmark JSON against the committed baseline
+and exits non-zero if any timing metric regressed by more than the allowed
+tolerance (default 20%). Lower is better for every compared metric; derived
+ratio fields (e.g. warm_speedup_vs_legacy) are reported but never gate,
+since they are redundant with the timings they are computed from.
+
+Usage:
+    python3 bench/compare_bench.py \
+        --baseline BENCH_assignment.json \
+        --current  build/BENCH_assignment.json \
+        [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+# A metric is a numeric JSON leaf whose key carries a time unit suffix.
+_METRIC_SUFFIXES = ("_ns", "_us", "_ms", "ms_per_map", "ns_per_solve")
+
+
+def _is_metric(key, value):
+    return isinstance(value, (int, float)) and key.endswith(_METRIC_SUFFIXES)
+
+
+def _label(node, fallback):
+    """Human identifier for a record: its 'n'/'mapper'/'name' field."""
+    for key in ("n", "mapper", "name", "scenario"):
+        if isinstance(node, dict) and key in node:
+            return f"{key}={node[key]}"
+    return fallback
+
+
+def collect_metrics(node, path="", out=None):
+    """Flattens {path: value} for every timing leaf in the document."""
+    if out is None:
+        out = {}
+    if isinstance(node, dict):
+        prefix = _label(node, path)
+        for key, value in node.items():
+            if _is_metric(key, value):
+                out[f"{prefix}.{key}"] = float(value)
+            else:
+                collect_metrics(value, f"{prefix}.{key}", out)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            collect_metrics(item, f"{path}[{i}]", out)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated JSON to check")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative slowdown (default 0.20)")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = collect_metrics(json.load(f))
+    with open(args.current, encoding="utf-8") as f:
+        current = collect_metrics(json.load(f))
+
+    if not baseline:
+        print(f"error: no timing metrics found in {args.baseline}")
+        return 2
+
+    regressions = []
+    width = max(len(k) for k in baseline)
+    for key, old in sorted(baseline.items()):
+        new = current.get(key)
+        if new is None:
+            regressions.append((key, old, None))
+            print(f"{key:<{width}}  {old:>12.1f}  ->  MISSING")
+            continue
+        ratio = new / old if old > 0 else float("inf")
+        flag = ""
+        if new > old * (1.0 + args.tolerance):
+            regressions.append((key, old, new))
+            flag = "  REGRESSED"
+        print(f"{key:<{width}}  {old:>12.1f}  ->  {new:>12.1f}"
+              f"  ({ratio:5.2f}x){flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
+              f"{args.tolerance:.0%} of the committed baseline.")
+        return 1
+    print(f"\nOK: all {len(baseline)} metrics within {args.tolerance:.0%} "
+          "of the committed baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

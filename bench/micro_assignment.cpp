@@ -1,0 +1,212 @@
+// Microbenchmark of the assignment kernel's solve modes, emitting the
+// committed perf baselines BENCH_assignment.json and BENCH_mappers.json.
+//
+// Four modes are timed per instance size n ∈ {16, 64, 144, 256} (square
+// meshes of side 4/8/12/16, Table-3 C1 workloads):
+//
+//  * legacy  — materialize the n×n CostMatrix out of ThreadCostCache and
+//              call the one-shot solve_assignment: the pre-workspace path.
+//  * cold    — a fresh AssignmentWorkspace solving through the lazy
+//              CostView (no matrix copy, but scratch allocated per solve).
+//  * cached  — one reused workspace, cold potentials: the steady state of a
+//              long-lived solver with zero heap traffic per call.
+//  * warm    — one reused workspace re-solving the same instance with
+//              carried column potentials: the SSS fine-tuning steady state.
+//
+// Each mode reports best-of-3 adaptive batches (ns/solve). The mapper table
+// times one end-to-end map() per paper mapper plus GA on the canonical 8x8
+// C1 problem. Optional argv[1] is the output directory (default ".").
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cost_cache.h"
+#include "core/genetic_mapper.h"
+#include "core/sam.h"
+
+namespace {
+
+using namespace nocmap;
+
+// Accumulated solve costs; printed so the optimizer cannot drop the solves.
+double g_sink = 0.0;
+
+/// Best-of-3 batches, each batch grown until it runs >= 20 ms.
+template <typename F>
+double ns_per_call(F&& f) {
+  using clock = std::chrono::steady_clock;
+  f();  // warm-up (first-use allocations, caches)
+  double best = std::numeric_limits<double>::infinity();
+  for (int batch = 0; batch < 3; ++batch) {
+    std::size_t reps = 4;
+    for (;;) {
+      const auto t0 = clock::now();
+      for (std::size_t i = 0; i < reps; ++i) f();
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                               t0)
+              .count());
+      if (ns >= 2e7 || reps >= (1u << 22)) {
+        best = std::min(best, ns / static_cast<double>(reps));
+        break;
+      }
+      reps *= 4;
+    }
+  }
+  return best;
+}
+
+struct SizeResult {
+  std::size_t n = 0;
+  double legacy_ns = 0.0;
+  double cold_ns = 0.0;
+  double cached_ns = 0.0;
+  double warm_ns = 0.0;
+};
+
+SizeResult bench_size(std::uint32_t side) {
+  const Mesh mesh = Mesh::square(side);
+  const std::size_t n = mesh.num_tiles();
+  SynthesisOptions opt;
+  opt.num_applications = 4;
+  opt.threads_per_app = n / 4;
+  const ObmProblem problem(
+      TileLatencyModel(mesh, LatencyParams{}),
+      synthesize_workload(parsec_config("C1"), bench::kWorkloadSeed, opt));
+  const ThreadCostCache cache(problem.workload(), problem.model());
+
+  std::vector<TileId> tiles(n);
+  std::iota(tiles.begin(), tiles.end(), TileId{0});
+  const CostView view = cache.sam_view(0, tiles);
+
+  SizeResult r;
+  r.n = n;
+  r.legacy_ns = ns_per_call([&] {
+    const CostMatrix m = cache.sam_matrix(0, tiles);
+    g_sink += solve_assignment(m).total_cost;
+  });
+  r.cold_ns = ns_per_call([&] {
+    AssignmentWorkspace ws;
+    g_sink += ws.solve(view).total_cost;
+  });
+  {
+    AssignmentWorkspace ws;
+    r.cached_ns = ns_per_call([&] { g_sink += ws.solve(view).total_cost; });
+  }
+  {
+    AssignmentWorkspace ws;
+    ws.solve(view);  // prime the potentials
+    r.warm_ns =
+        ns_per_call([&] { g_sink += ws.solve_warm(view).total_cost; });
+  }
+  return r;
+}
+
+struct MapperResult {
+  std::string name;
+  double ms_per_map = 0.0;
+};
+
+std::vector<MapperResult> bench_mappers() {
+  using clock = std::chrono::steady_clock;
+  const ObmProblem problem = bench::standard_problem("C1");
+
+  std::vector<std::unique_ptr<Mapper>> mappers =
+      bench::paper_mappers(ParallelConfig::serial_config());
+  GeneticParams ga;
+  ga.seed = bench::kAlgorithmSeed;
+  mappers.push_back(std::make_unique<GeneticMapper>(ga));
+
+  std::vector<MapperResult> results;
+  for (const auto& mapper : mappers) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      const Mapping m = mapper->map(problem);
+      const double ms =
+          std::chrono::duration<double, std::milli>(clock::now() - t0)
+              .count();
+      g_sink += static_cast<double>(m.thread_to_tile.front());
+      best = std::min(best, ms);
+    }
+    results.push_back({mapper->name(), best});
+  }
+  return results;
+}
+
+void write_assignment_json(const std::filesystem::path& path,
+                           const std::vector<SizeResult>& sizes) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench\": \"micro_assignment\",\n"
+     << "  \"unit\": \"ns_per_solve\",\n"
+     << "  \"sizes\": [\n";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const SizeResult& r = sizes[i];
+    os << "    {\"n\": " << r.n
+       << ", \"legacy_solve_assignment_ns\": " << r.legacy_ns
+       << ", \"workspace_cold_ns\": " << r.cold_ns
+       << ", \"workspace_cached_ns\": " << r.cached_ns
+       << ", \"workspace_warm_ns\": " << r.warm_ns
+       << ", \"warm_speedup_vs_legacy\": "
+       << (r.warm_ns > 0.0 ? r.legacy_ns / r.warm_ns : 0.0) << "}"
+       << (i + 1 < sizes.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "[json: " << path.string() << "]\n";
+}
+
+void write_mappers_json(const std::filesystem::path& path,
+                        const std::vector<MapperResult>& mappers) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench\": \"micro_assignment\",\n"
+     << "  \"unit\": \"ms_per_map\",\n"
+     << "  \"mappers\": [\n";
+  for (std::size_t i = 0; i < mappers.size(); ++i) {
+    os << "    {\"mapper\": \"" << mappers[i].name
+       << "\", \"ms_per_map\": " << mappers[i].ms_per_map << "}"
+       << (i + 1 < mappers.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "[json: " << path.string() << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : ".";
+  bench::print_header(
+      "micro_assignment — assignment-kernel solve-mode timings",
+      "perf baseline layer (DESIGN.md §8)");
+
+  std::vector<SizeResult> sizes;
+  for (const std::uint32_t side : {4u, 8u, 12u, 16u}) {
+    sizes.push_back(bench_size(side));
+    const SizeResult& r = sizes.back();
+    std::cout << "n=" << r.n << "  legacy=" << r.legacy_ns / 1e3
+              << "us  cold=" << r.cold_ns / 1e3
+              << "us  cached=" << r.cached_ns / 1e3
+              << "us  warm=" << r.warm_ns / 1e3
+              << "us  (warm speedup vs legacy: "
+              << r.legacy_ns / r.warm_ns << "x)\n";
+  }
+
+  const std::vector<MapperResult> mappers = bench_mappers();
+  for (const MapperResult& m : mappers) {
+    std::cout << m.name << ": " << m.ms_per_map << " ms/map\n";
+  }
+
+  write_assignment_json(out_dir / "BENCH_assignment.json", sizes);
+  write_mappers_json(out_dir / "BENCH_mappers.json", mappers);
+  std::cout << "(checksum " << g_sink << ")\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "assign/hungarian.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -21,66 +22,159 @@ double CostMatrix::at(std::size_t r, std::size_t c) const {
   return data_[r * cols_ + c];
 }
 
-Assignment solve_assignment(const CostMatrix& cost) {
-  NOCMAP_REQUIRE(cost.rows() == cost.cols(),
-                 "Hungarian solver requires a square matrix");
-  const std::size_t n = cost.rows();
+namespace {
+
+/// Identity column map — lets the kernel template collapse the gather away
+/// on dense views.
+struct IdentityCol {
+  std::size_t operator()(std::size_t j) const { return j; }
+};
+
+/// Gathering column map for strided views over a shared cost table.
+struct GatherCol {
+  const std::uint32_t* index;
+  std::size_t operator()(std::size_t j) const { return index[j]; }
+};
+
+}  // namespace
+
+// The classic shortest-augmenting-path kernel with dual potentials,
+// generalized to rows <= cols. Rows are inserted one at a time; each
+// insertion runs a Dijkstra-like scan over reduced costs and shifts the
+// potentials so the invariant (matched edges tight, inserted rows dual-
+// feasible) is restored. The invariant is vacuous before the first
+// insertion, so *any* initial potentials — all-zero (cold) or carried over
+// from a previous solve (warm) — yield an exact optimum; warmth only
+// shortens the augmenting paths.
+template <typename ColMap>
+void AssignmentWorkspace::run_kernel(const double* data, std::size_t stride,
+                                     ColMap col, std::size_t nr,
+                                     std::size_t nc) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-
-  // 1-based arrays per the classic potentials formulation; index 0 is a
-  // sentinel column.
-  std::vector<double> u(n + 1, 0.0);   // row potentials
-  std::vector<double> v(n + 1, 0.0);   // column potentials
-  std::vector<std::size_t> p(n + 1, 0);  // p[col] = row matched to col
-  std::vector<std::size_t> way(n + 1, 0);
-
-  for (std::size_t i = 1; i <= n; ++i) {
-    p[0] = i;
+  for (std::size_t i = 1; i <= nr; ++i) {
+    p_[0] = i;
     std::size_t j0 = 0;
-    std::vector<double> minv(n + 1, kInf);
-    std::vector<char> used(n + 1, 0);
+    std::fill(minv_.begin(), minv_.begin() + static_cast<std::ptrdiff_t>(nc) + 1,
+              kInf);
+    std::fill(used_.begin(), used_.begin() + static_cast<std::ptrdiff_t>(nc) + 1,
+              char{0});
     do {
-      used[j0] = 1;
-      const std::size_t i0 = p[j0];
+      used_[j0] = 1;
+      const std::size_t i0 = p_[j0];
+      const double* row = data + (i0 - 1) * stride;
+      const double u0 = u_[i0];
       double delta = kInf;
       std::size_t j1 = 0;
-      for (std::size_t j = 1; j <= n; ++j) {
-        if (used[j]) continue;
-        const double cur = cost.at(i0 - 1, j - 1) - u[i0] - v[j];
-        if (cur < minv[j]) {
-          minv[j] = cur;
-          way[j] = j0;
+      for (std::size_t j = 1; j <= nc; ++j) {
+        if (used_[j]) continue;
+        const double cur = row[col(j - 1)] - u0 - v_[j];
+        if (cur < minv_[j]) {
+          minv_[j] = cur;
+          way_[j] = j0;
         }
-        if (minv[j] < delta) {
-          delta = minv[j];
+        if (minv_[j] < delta) {
+          delta = minv_[j];
           j1 = j;
         }
       }
-      for (std::size_t j = 0; j <= n; ++j) {
-        if (used[j]) {
-          u[p[j]] += delta;
-          v[j] -= delta;
+      for (std::size_t j = 0; j <= nc; ++j) {
+        if (used_[j]) {
+          u_[p_[j]] += delta;
+          v_[j] -= delta;
         } else {
-          minv[j] -= delta;
+          minv_[j] -= delta;
         }
       }
       j0 = j1;
-    } while (p[j0] != 0);
+    } while (p_[j0] != 0);
     // Augment along the alternating path.
     do {
-      const std::size_t j1 = way[j0];
-      p[j0] = p[j1];
+      const std::size_t j1 = way_[j0];
+      p_[j0] = p_[j1];
       j0 = j1;
     } while (j0 != 0);
   }
+}
 
-  Assignment result;
-  result.row_to_col.assign(n, 0);
-  for (std::size_t j = 1; j <= n; ++j) {
-    result.row_to_col[p[j] - 1] = j - 1;
+void AssignmentWorkspace::solve_impl(const CostView& view, bool warm) {
+  const std::size_t nr = view.rows();
+  const std::size_t nc = view.cols();
+  NOCMAP_REQUIRE(nr <= nc,
+                 "assignment needs at least as many columns as rows");
+
+  if (u_.size() < nr + 1) u_.resize(nr + 1);
+  if (v_.size() < nc + 1) {
+    v_.resize(nc + 1);
+    minv_.resize(nc + 1);
+    p_.resize(nc + 1);
+    way_.resize(nc + 1);
+    used_.resize(nc + 1);
   }
-  result.total_cost = assignment_cost(cost, result.row_to_col);
-  return result;
+
+  // Row potentials are always re-derived (the first delta of each row's
+  // insertion absorbs any initial value); column potentials persist across
+  // warm solves of the same width.
+  std::fill(u_.begin(), u_.begin() + static_cast<std::ptrdiff_t>(nr) + 1, 0.0);
+  if (!warm || warm_cols_ != nc) {
+    std::fill(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(nc) + 1,
+              0.0);
+  }
+  std::fill(p_.begin(), p_.begin() + static_cast<std::ptrdiff_t>(nc) + 1,
+            std::size_t{0});
+
+  if (view.col_index() != nullptr) {
+    run_kernel(view.data(), view.stride(), GatherCol{view.col_index()}, nr,
+               nc);
+  } else {
+    run_kernel(view.data(), view.stride(), IdentityCol{}, nr, nc);
+  }
+  warm_cols_ = nc;
+
+  result_.row_to_col.assign(nr, 0);
+  // Optimal cost straight from the potentials: every matched edge is tight
+  // (cost = u + v by construction), so the matching's cost is the sum of
+  // its endpoints' potentials — no second pass over the cost data.
+  double total = 0.0;
+  for (std::size_t j = 1; j <= nc; ++j) {
+    if (p_[j] == 0) continue;  // column left free (rectangular instance)
+    result_.row_to_col[p_[j] - 1] = j - 1;
+    total += u_[p_[j]] + v_[j];
+  }
+  result_.total_cost = total;
+
+#ifndef NDEBUG
+  // Debug cross-check: the potentials sum must agree with an explicit
+  // re-walk of the chosen entries (up to accumulated rounding).
+  double walk = 0.0;
+  for (std::size_t r = 0; r < nr; ++r) {
+    walk += view.at(r, result_.row_to_col[r]);
+  }
+  NOCMAP_ASSERT(std::abs(walk - total) <=
+                1e-9 * std::max(1.0, std::abs(walk)));
+#endif
+}
+
+const Assignment& AssignmentWorkspace::solve(const CostView& view) {
+  solve_impl(view, /*warm=*/false);
+  return result_;
+}
+
+const Assignment& AssignmentWorkspace::solve_warm(const CostView& view) {
+  solve_impl(view, /*warm=*/true);
+  if (cross_check_) {
+    if (!shadow_) shadow_ = std::make_unique<AssignmentWorkspace>();
+    const Assignment& cold = shadow_->solve(view);
+    NOCMAP_REQUIRE(cold.row_to_col == result_.row_to_col,
+                   "warm-started solve diverged from the cold solve");
+  }
+  return result_;
+}
+
+Assignment solve_assignment(const CostMatrix& cost) {
+  NOCMAP_REQUIRE(cost.rows() == cost.cols(),
+                 "Hungarian solver requires a square matrix");
+  AssignmentWorkspace ws;
+  return ws.solve(CostView::of(cost));
 }
 
 Assignment solve_assignment_brute_force(const CostMatrix& cost) {
@@ -109,7 +203,7 @@ double assignment_cost(const CostMatrix& cost,
                  "assignment size must match matrix rows");
   double total = 0.0;
   for (std::size_t r = 0; r < row_to_col.size(); ++r) {
-    NOCMAP_REQUIRE(row_to_col[r] < cost.cols(), "column index out of range");
+    NOCMAP_ASSERT(row_to_col[r] < cost.cols());
     total += cost.at(r, row_to_col[r]);
   }
   return total;

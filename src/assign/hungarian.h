@@ -1,14 +1,31 @@
 // Linear-assignment solver (the Hungarian method of paper reference [15]).
 //
 // The single-application mapping problem (SAM, Section IV.A) and the exact
-// Global baseline both reduce to minimum-cost perfect matching on a dense
-// n×n cost matrix: cost[j][k] = c_j·TC(k) + m_j·TM(k) (eq. 13). We implement
-// the O(n³) shortest-augmenting-path formulation with dual potentials
+// Global baseline both reduce to minimum-cost matching on a dense cost
+// matrix: cost[j][k] = c_j·TC(k) + m_j·TM(k) (eq. 13). We implement the
+// O(n³) shortest-augmenting-path formulation with dual potentials
 // (Jonker–Volgenant style), which is exact and fast enough for thousands of
 // tiles.
+//
+// Two call surfaces exist:
+//
+//  * `solve_assignment(CostMatrix)` — the classic one-shot API, kept for
+//    convenience and tests.
+//  * `AssignmentWorkspace::solve{,_warm}(CostView)` — the hot-path kernel.
+//    The workspace owns every scratch array (potentials, minv, used, path,
+//    result), so after the first solve of a given size there is zero heap
+//    traffic per call; `CostView` reads costs straight out of any row-major
+//    table (e.g. the memoized ThreadCostCache) through an optional column
+//    gather, so no per-call matrix is ever materialized. `solve_warm`
+//    additionally carries the column potentials from the previous solve:
+//    on the repeated near-identical instances produced by the SSS passes
+//    and the bound evaluations, augmenting paths then terminate almost
+//    immediately and the solve drops from O(n³) toward O(n²).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/error.h"
@@ -25,11 +42,55 @@ class CostMatrix {
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+  const double* data() const { return data_.data(); }
 
  private:
   std::size_t rows_;
   std::size_t cols_;
   std::vector<double> data_;
+};
+
+/// Non-owning view of a rows×cols cost block inside a row-major table with
+/// arbitrary row stride, optionally gathering columns through an index
+/// array: at(r, c) = data[r·stride + (col_index ? col_index[c] : c)].
+///
+/// This is what lets SAM solve directly over ThreadCostCache rows (stride =
+/// num_tiles, col_index = the application's tile list) without copying an
+/// n×n matrix per call. The viewed data and index array must outlive the
+/// view; the index type is the library's TileId (std::uint32_t).
+class CostView {
+ public:
+  CostView(const double* data, std::size_t rows, std::size_t cols,
+           std::size_t stride, const std::uint32_t* col_index = nullptr)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride),
+        col_index_(col_index) {
+    NOCMAP_REQUIRE(rows > 0 && cols > 0, "cost view must be non-empty");
+    NOCMAP_REQUIRE(col_index != nullptr || cols <= stride,
+                   "dense cost view wider than its stride");
+  }
+
+  /// Dense view of a whole CostMatrix.
+  static CostView of(const CostMatrix& m) {
+    return CostView(m.data(), m.rows(), m.cols(), m.cols());
+  }
+
+  double at(std::size_t r, std::size_t c) const {
+    NOCMAP_ASSERT(r < rows_ && c < cols_);
+    return data_[r * stride_ + (col_index_ ? col_index_[c] : c)];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  const double* data() const { return data_; }
+  const std::uint32_t* col_index() const { return col_index_; }
+
+ private:
+  const double* data_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t stride_;
+  const std::uint32_t* col_index_;
 };
 
 /// Result of an assignment: row r is assigned column `row_to_col[r]`.
@@ -38,8 +99,69 @@ struct Assignment {
   double total_cost = 0.0;
 };
 
+/// Reusable scratch + warm-start state for the assignment kernel.
+///
+/// All arrays grow to the largest instance seen and are reused afterwards —
+/// steady-state solves perform no heap allocation. Rectangular instances
+/// with rows < cols are supported (the unmatched columns are simply left
+/// free), which is how the relaxed per-application bounds avoid padding
+/// with dummy rows.
+///
+/// Warm starts: `solve_warm` keeps the column potentials v from the
+/// previous solve whenever the column count matches (row potentials are
+/// always re-derived — the kernel is correct for *any* initial potentials,
+/// so warmth is purely a speed heuristic and never affects optimality).
+/// Because the returned assignment may differ between warm and cold starts
+/// only when the instance has multiple optima, callers that need
+/// schedule-independent results must key workspaces by logical solve site
+/// (e.g. one workspace per application), never per worker thread.
+class AssignmentWorkspace {
+ public:
+  AssignmentWorkspace() = default;
+
+  /// Cold solve: potentials reset to zero first. Bit-identical to the
+  /// classic `solve_assignment` on the same values.
+  const Assignment& solve(const CostView& view);
+
+  /// Warm solve: reuses the previous solve's column potentials when the
+  /// column count matches (falls back to a cold solve otherwise).
+  const Assignment& solve_warm(const CostView& view);
+
+  /// Result of the most recent solve (valid until the next one).
+  const Assignment& last() const { return result_; }
+
+  /// Drops the warm-start state; the next solve_warm runs cold.
+  void invalidate() { warm_cols_ = 0; }
+
+  /// When enabled, every warm solve is re-run cold in a shadow workspace
+  /// and the two assignments are REQUIREd to be identical — the validation
+  /// path proving warm starts change nothing. Intended for tests and
+  /// debugging (it obviously forfeits the warm speedup); on instances with
+  /// tied optima the cross-check may legitimately fail, so enable it on
+  /// unique-optimum inputs.
+  void set_cross_check(bool on) { cross_check_ = on; }
+
+ private:
+  void solve_impl(const CostView& view, bool warm);
+  template <typename ColMap>
+  void run_kernel(const double* data, std::size_t stride, ColMap col,
+                  std::size_t nr, std::size_t nc);
+
+  std::vector<double> u_;     // row potentials, 1-based
+  std::vector<double> v_;     // column potentials, 1-based
+  std::vector<double> minv_;  // per-column path minima
+  std::vector<std::size_t> p_;    // p_[col] = row matched to col
+  std::vector<std::size_t> way_;  // alternating-path predecessor
+  std::vector<char> used_;
+  Assignment result_;
+  std::size_t warm_cols_ = 0;  // column count the stored v_ is valid for
+  bool cross_check_ = false;
+  std::unique_ptr<AssignmentWorkspace> shadow_;  // cross-check scratch
+};
+
 /// Exact minimum-cost assignment on a square matrix, O(n³). Throws on a
-/// non-square or empty matrix.
+/// non-square or empty matrix. One-shot convenience wrapper over
+/// AssignmentWorkspace; hot paths should hold a workspace instead.
 Assignment solve_assignment(const CostMatrix& cost);
 
 /// Exhaustive O(n!) reference solver; usable for n ≤ 10. Exists so property
@@ -47,6 +169,8 @@ Assignment solve_assignment(const CostMatrix& cost);
 Assignment solve_assignment_brute_force(const CostMatrix& cost);
 
 /// Total cost of an explicit assignment under `cost` (validation helper).
+/// The size precondition throws; per-element column indices are checked
+/// with NOCMAP_ASSERT only (debug builds), since this runs in hot loops.
 double assignment_cost(const CostMatrix& cost,
                        const std::vector<std::size_t>& row_to_col);
 

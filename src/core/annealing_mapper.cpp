@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <utility>
 
 #include "core/cost_cache.h"
@@ -85,15 +86,14 @@ Mapping AnnealingMapper::map(const ObmProblem& problem) {
   // only the problem and the read-only cost cache, so any number of them
   // can run concurrently.
   auto run_chain = [&](Rng rng) -> ChainResult {
-    // Random initial state.
+    // Random initial state, shuffled directly in the mapping's own storage.
+    // The templated Fisher–Yates makes the same uniform_u32 draws as
+    // random_permutation did, so every chain's stream is unchanged.
     Mapping initial;
     initial.thread_to_tile.resize(n);
-    {
-      const auto perm = random_permutation(n, rng);
-      for (std::size_t j = 0; j < n; ++j) {
-        initial.thread_to_tile[j] = static_cast<TileId>(perm[j]);
-      }
-    }
+    std::iota(initial.thread_to_tile.begin(), initial.thread_to_tile.end(),
+              TileId{0});
+    rng.shuffle(initial.thread_to_tile);
     MappingEvaluator eval(problem, std::move(initial), cache);
 
     double current = objective_value(eval, num_apps, params_.objective);

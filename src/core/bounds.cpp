@@ -7,63 +7,72 @@
 
 namespace nocmap {
 
-double optimal_gapl(const ObmProblem& problem) {
+double optimal_gapl(const ObmProblem& problem, const ThreadCostCache& cache,
+                    AssignmentWorkspace& ws) {
   const std::size_t n = problem.num_threads();
-  const Workload& wl = problem.workload();
-  const TileLatencyModel& model = problem.model();
-
-  CostMatrix cost(n, n);
-  double volume = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    const ThreadProfile& t = wl.thread(j);
-    volume += t.total_rate();
-    for (std::size_t k = 0; k < n; ++k) {
-      cost.at(j, k) = t.cache_rate * model.tc(static_cast<TileId>(k)) +
-                      t.memory_rate * model.tm(static_cast<TileId>(k));
-    }
-  }
+  const double volume = cache.rate_sum(0, n);
   if (volume <= 0.0) return 0.0;
-  return solve_assignment(cost).total_cost / volume;
+  // All threads against tiles 0..n-1 — a dense prefix of the cache rows.
+  const CostView view(cache.row(0), n, n, cache.num_tiles());
+  return ws.solve(view).total_cost / volume;
 }
 
-double relaxed_min_apl(const ObmProblem& problem, std::size_t app) {
+double optimal_gapl(const ObmProblem& problem) {
+  const ThreadCostCache cache(problem.workload(), problem.model());
+  AssignmentWorkspace ws;
+  return optimal_gapl(problem, cache, ws);
+}
+
+double relaxed_min_apl(const ObmProblem& problem, std::size_t app,
+                       const ThreadCostCache& cache, AssignmentWorkspace& ws,
+                       bool warm) {
   const Workload& wl = problem.workload();
-  const TileLatencyModel& model = problem.model();
-  const std::size_t n = problem.num_tiles();
   const std::size_t lo = wl.first_thread(app);
   const std::size_t dn = wl.last_thread(app) - lo;
 
-  // Square matrix with (n - dn) zero-cost dummy threads: real threads pick
-  // their best tiles, dummies absorb the rest.
-  CostMatrix cost(n, n, 0.0);
-  double volume = 0.0;
-  for (std::size_t j = 0; j < dn; ++j) {
-    const ThreadProfile& t = wl.thread(lo + j);
-    volume += t.total_rate();
-    for (std::size_t k = 0; k < n; ++k) {
-      cost.at(j, k) = t.cache_rate * model.tc(static_cast<TileId>(k)) +
-                      t.memory_rate * model.tm(static_cast<TileId>(k));
-    }
-  }
+  const double volume = cache.rate_sum(lo, dn);
   if (volume <= 0.0) return 0.0;
-  return solve_assignment(cost).total_cost / volume;
+  // Rectangular dn×N relaxation: the application's threads pick freely from
+  // the whole chip; unpicked tiles simply stay unmatched (equivalent to the
+  // classic zero-cost dummy-row padding, at a fraction of the work).
+  const CostView view(cache.row(lo), dn, problem.num_tiles(),
+                      cache.num_tiles());
+  const Assignment& a = warm ? ws.solve_warm(view) : ws.solve(view);
+  return a.total_cost / volume;
 }
 
-double max_apl_lower_bound(const ObmProblem& problem) {
+double relaxed_min_apl(const ObmProblem& problem, std::size_t app) {
+  const ThreadCostCache cache(problem.workload(), problem.model());
+  AssignmentWorkspace ws;
+  return relaxed_min_apl(problem, app, cache, ws);
+}
+
+double max_apl_lower_bound(const ObmProblem& problem,
+                           const ThreadCostCache& cache,
+                           AssignmentWorkspace& ws) {
   // Volume bound: max_i w_i·APL_i >= w_min · max_i APL_i >= w_min · g-APL,
-  // and the minimal achievable g-APL is one Hungarian solve away.
+  // and the minimal achievable g-APL is one assignment solve away.
   double min_weight = std::numeric_limits<double>::infinity();
   for (std::size_t a = 0; a < problem.num_applications(); ++a) {
     min_weight = std::min(min_weight, problem.app_weight(a));
   }
-  double bound = min_weight * optimal_gapl(problem);
+  double bound = min_weight * optimal_gapl(problem, cache, ws);
   // Per-application bound: application i can never beat its uncontested
-  // relaxed minimum, scaled by its own weight.
+  // relaxed minimum, scaled by its own weight. Every solve in this loop has
+  // the same N tile columns, so each warm-starts from its predecessor.
   for (std::size_t a = 0; a < problem.num_applications(); ++a) {
     bound = std::max(bound,
-                     problem.app_weight(a) * relaxed_min_apl(problem, a));
+                     problem.app_weight(a) *
+                         relaxed_min_apl(problem, a, cache, ws,
+                                         /*warm=*/a > 0));
   }
   return bound;
+}
+
+double max_apl_lower_bound(const ObmProblem& problem) {
+  const ThreadCostCache cache(problem.workload(), problem.model());
+  AssignmentWorkspace ws;
+  return max_apl_lower_bound(problem, cache, ws);
 }
 
 }  // namespace nocmap

@@ -4,21 +4,35 @@
 
 namespace nocmap {
 
+static_assert(sizeof(TileId) == sizeof(std::uint32_t),
+              "CostView column gather assumes 32-bit tile ids");
+
 ThreadCostCache::ThreadCostCache(const Workload& workload,
                                  const TileLatencyModel& model)
     : num_threads_(workload.num_threads()),
       num_tiles_(model.mesh().num_tiles()) {
   costs_.resize(num_threads_ * num_tiles_);
   rates_.resize(num_threads_);
+  rate_prefix_.resize(num_threads_ + 1);
+  rate_prefix_[0] = 0.0;
   for (std::size_t j = 0; j < num_threads_; ++j) {
     const ThreadProfile& t = workload.thread(j);
     rates_[j] = t.total_rate();
+    rate_prefix_[j + 1] = rate_prefix_[j] + rates_[j];
     double* row = &costs_[j * num_tiles_];
     for (std::size_t k = 0; k < num_tiles_; ++k) {
       const auto tile = static_cast<TileId>(k);
       row[k] = t.cache_rate * model.tc(tile) + t.memory_rate * model.tm(tile);
     }
   }
+}
+
+CostView ThreadCostCache::sam_view(std::size_t first_thread,
+                                   std::span<const TileId> tiles) const {
+  const std::size_t n = tiles.size();
+  NOCMAP_REQUIRE(first_thread + n <= num_threads_,
+                 "SAM thread range out of cache bounds");
+  return CostView(row(first_thread), n, n, num_tiles_, tiles.data());
 }
 
 CostMatrix ThreadCostCache::sam_matrix(std::size_t first_thread,

@@ -6,9 +6,15 @@
 // incremental evaluator recomputes entries on every move — historically each
 // from the raw model. ThreadCostCache computes the full matrix once per
 // problem (O(N²) fused multiply-adds, ~50 µs at N = 256) and shares it:
-// SAM's Hungarian calls, the Global mapper, and the evaluator all read the
+// SAM's assignment solves, the Global mapper, and the evaluator all read the
 // same immutable table. Immutability after construction also makes it safe
 // to read concurrently from the SSS window-evaluation workers.
+//
+// The assignment kernel reads the table in place through `sam_view` (a
+// strided CostView gathering the application's tile columns), so no per-call
+// matrix is materialized; `sam_matrix` remains for callers that want an
+// owning copy. Per-thread request rates are cached with a prefix-sum so any
+// contiguous range's traffic volume (the APL denominator) is O(1).
 #pragma once
 
 #include <cstddef>
@@ -34,12 +40,30 @@ class ThreadCostCache {
     return costs_[thread * num_tiles_ + tile];
   }
 
+  /// Raw row of the cost table for global thread j (num_tiles entries).
+  const double* row(std::size_t thread) const {
+    NOCMAP_ASSERT(thread < num_threads_);
+    return &costs_[thread * num_tiles_];
+  }
+
   /// Total request rate (c_j + m_j) of global thread j — the APL
   /// denominator contribution, cached alongside the costs.
   double rate(std::size_t thread) const { return rates_[thread]; }
 
-  /// Dense n×n SAM cost matrix for the contiguous global thread range
-  /// [first_thread, first_thread + tiles.size()) against `tiles`.
+  /// Σ rate(j) for j in [first, first + count) — O(1) from the prefix sum.
+  double rate_sum(std::size_t first, std::size_t count) const {
+    NOCMAP_ASSERT(first + count <= num_threads_);
+    return rate_prefix_[first + count] - rate_prefix_[first];
+  }
+
+  /// Lazy n×n SAM cost view for the contiguous global thread range
+  /// [first_thread, first_thread + tiles.size()) against `tiles`: reads the
+  /// cache in place, no copy. The cache and the `tiles` storage must
+  /// outlive the returned view.
+  CostView sam_view(std::size_t first_thread,
+                    std::span<const TileId> tiles) const;
+
+  /// Dense owning copy of the same n×n SAM cost block.
   CostMatrix sam_matrix(std::size_t first_thread,
                         std::span<const TileId> tiles) const;
 
@@ -48,6 +72,7 @@ class ThreadCostCache {
   std::size_t num_tiles_;
   std::vector<double> costs_;  // row-major [thread][tile]
   std::vector<double> rates_;
+  std::vector<double> rate_prefix_;  // rate_prefix_[j] = Σ rates_[0..j)
 };
 
 }  // namespace nocmap

@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "core/bounds.h"
+#include "core/cost_cache.h"
 #include "core/metrics.h"
 #include "core/sss_mapper.h"
 
@@ -13,17 +15,28 @@ namespace {
 
 struct SearchState {
   const ObmProblem* problem;
+  const ThreadCostCache* cache;
   ExactSolverOptions options;
 
   std::vector<std::size_t> thread_order;  // descending total rate
-  std::vector<std::vector<double>> cost;  // [thread][tile]
   std::vector<double> app_denominator;
   std::vector<double> app_weight;
   std::vector<std::size_t> app_of;
 
+  // Per thread: the tiles 0..n-1 sorted by that thread's cost, ascending.
+  // Costs never change during the search, so the per-node sort the solver
+  // used to do is hoisted here — one O(n² log n) pass instead of an
+  // allocation and an O(n log n) sort at every node.
+  std::vector<std::vector<TileId>> tile_order;
+
   // Per (depth, app): minimal possible remaining numerator if every not-
   // yet-assigned thread of the app took its global cheapest tile.
   std::vector<std::vector<double>> optimistic_tail;
+
+  // Problem-wide lower bound (volume + per-app relaxations, warm-started
+  // assignment solves): once the incumbent reaches it, every subtree prunes
+  // at its first node and the search ends immediately.
+  double global_lb = 0.0;
 
   std::vector<double> app_numerator;
   std::vector<TileId> assigned_tile;  // by order position
@@ -33,6 +46,10 @@ struct SearchState {
   std::vector<TileId> best_assignment;  // by order position
   std::uint64_t nodes = 0;
   bool budget_hit = false;
+
+  double cost(std::size_t thread, TileId tile) const {
+    return cache->cost(thread, tile);
+  }
 
   double objective() const {
     double worst = 0.0;
@@ -48,7 +65,7 @@ struct SearchState {
   /// Optimistic lower bound for the subtree at `depth` (threads
   /// thread_order[depth..] unassigned).
   double lower_bound(std::size_t depth) const {
-    double worst = 0.0;
+    double worst = global_lb;
     for (std::size_t a = 0; a < app_numerator.size(); ++a) {
       if (app_denominator[a] > 0.0) {
         worst = std::max(worst,
@@ -79,21 +96,14 @@ struct SearchState {
     const std::size_t j = thread_order[depth];
     const std::size_t app = app_of[j];
 
-    // Try tiles cheapest-first for this thread so good incumbents come
-    // early.
-    std::vector<TileId> tiles(tile_used.size());
-    std::iota(tiles.begin(), tiles.end(), TileId{0});
-    std::sort(tiles.begin(), tiles.end(), [&](TileId x, TileId y) {
-      return cost[j][x] < cost[j][y];
-    });
-
-    for (TileId tile : tiles) {
+    // Cheapest-first for this thread so good incumbents come early.
+    for (TileId tile : tile_order[j]) {
       if (tile_used[tile]) continue;
       tile_used[tile] = 1;
       assigned_tile[depth] = tile;
-      app_numerator[app] += cost[j][tile];
+      app_numerator[app] += cost(j, tile);
       dfs(depth + 1);
-      app_numerator[app] -= cost[j][tile];
+      app_numerator[app] -= cost(j, tile);
       tile_used[tile] = 0;
       if (budget_hit) return;
     }
@@ -109,13 +119,13 @@ ExactResult solve_obm_exact(const ObmProblem& problem,
                  "instance too large for the exact solver");
 
   const Workload& wl = problem.workload();
-  const TileLatencyModel& model = problem.model();
+  const ThreadCostCache cache(wl, problem.model());
 
   SearchState st;
   st.problem = &problem;
+  st.cache = &cache;
   st.options = options;
 
-  st.cost.assign(n, std::vector<double>(n, 0.0));
   st.app_of.resize(n);
   st.app_denominator.assign(wl.num_applications(), 0.0);
   st.app_weight.resize(wl.num_applications());
@@ -123,13 +133,8 @@ ExactResult solve_obm_exact(const ObmProblem& problem,
     st.app_weight[a] = problem.app_weight(a);
   }
   for (std::size_t j = 0; j < n; ++j) {
-    const ThreadProfile& t = wl.thread(j);
     st.app_of[j] = wl.application_of(j);
-    st.app_denominator[st.app_of[j]] += t.total_rate();
-    for (std::size_t k = 0; k < n; ++k) {
-      st.cost[j][k] = t.cache_rate * model.tc(static_cast<TileId>(k)) +
-                      t.memory_rate * model.tm(static_cast<TileId>(k));
-    }
+    st.app_denominator[st.app_of[j]] += cache.rate(j);
   }
 
   // Branch on hot threads first: their placement moves the bound most.
@@ -137,8 +142,17 @@ ExactResult solve_obm_exact(const ObmProblem& problem,
   std::iota(st.thread_order.begin(), st.thread_order.end(), std::size_t{0});
   std::sort(st.thread_order.begin(), st.thread_order.end(),
             [&](std::size_t x, std::size_t y) {
-              return wl.thread(x).total_rate() > wl.thread(y).total_rate();
+              return cache.rate(x) > cache.rate(y);
             });
+
+  // Per-thread cheapest-first tile orders, computed once.
+  st.tile_order.assign(n, std::vector<TileId>(n));
+  for (std::size_t j = 0; j < n; ++j) {
+    std::iota(st.tile_order[j].begin(), st.tile_order[j].end(), TileId{0});
+    const double* row = cache.row(j);
+    std::sort(st.tile_order[j].begin(), st.tile_order[j].end(),
+              [row](TileId x, TileId y) { return row[x] < row[y]; });
+  }
 
   // optimistic_tail[d][a]: sum over order positions >= d of the cheapest
   // tile cost of that thread (relaxation: ignores tile exclusivity).
@@ -147,9 +161,13 @@ ExactResult solve_obm_exact(const ObmProblem& problem,
   for (std::size_t d = n; d-- > 0;) {
     st.optimistic_tail[d] = st.optimistic_tail[d + 1];
     const std::size_t j = st.thread_order[d];
-    const double cheapest =
-        *std::min_element(st.cost[j].begin(), st.cost[j].end());
-    st.optimistic_tail[d][st.app_of[j]] += cheapest;
+    st.optimistic_tail[d][st.app_of[j]] += cache.row(j)[st.tile_order[j][0]];
+  }
+
+  // Problem-wide bound from the warm-started assignment relaxations.
+  {
+    AssignmentWorkspace ws;
+    st.global_lb = max_apl_lower_bound(problem, cache, ws);
   }
 
   // Incumbent: the SSS heuristic solution.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "core/cost_cache.h"
 #include "core/metrics.h"
@@ -33,16 +34,19 @@ double fitness(const ObmProblem& problem, const ThreadCostCache& cache,
 
 /// Partially mapped crossover: child inherits a random segment from parent
 /// a and fills the rest from parent b via the PMX mapping, preserving
-/// permutation validity.
-Genome pmx(const Genome& a, const Genome& b, Rng& rng) {
+/// permutation validity. Writes into caller-owned storage (`child` and the
+/// `position_of` scratch) so the generation loop performs no allocations;
+/// the two segment-bound draws match the old allocating version exactly.
+void pmx_into(const Genome& a, const Genome& b, Rng& rng, Genome& child,
+              std::vector<TileId>& position_of) {
   const std::size_t n = a.size();
   std::size_t lo = rng.uniform_u32(static_cast<std::uint32_t>(n));
   std::size_t hi = rng.uniform_u32(static_cast<std::uint32_t>(n));
   if (lo > hi) std::swap(lo, hi);
 
   constexpr TileId kUnset = std::numeric_limits<TileId>::max();
-  Genome child(n, kUnset);
-  std::vector<TileId> position_of(n, static_cast<TileId>(kUnset));
+  child.resize(n);
+  position_of.assign(n, static_cast<TileId>(kUnset));
   for (std::size_t i = lo; i <= hi; ++i) {
     child[i] = a[i];
     position_of[a[i]] = static_cast<TileId>(i);
@@ -57,7 +61,6 @@ Genome pmx(const Genome& a, const Genome& b, Rng& rng) {
     child[i] = candidate;
     position_of[candidate] = static_cast<TileId>(i);
   }
-  return child;
 }
 
 }  // namespace
@@ -77,12 +80,17 @@ Mapping GeneticMapper::map(const ObmProblem& problem) {
     Genome genome;
     double fitness = 0.0;
   };
+  // Two persistent generations, swapped each round: parents are read from
+  // `population`, offspring written into `next`, and every genome buffer is
+  // reused for the whole run.
   std::vector<Individual> population(params_.population);
+  std::vector<Individual> next(params_.population);
   for (auto& ind : population) {
-    ind.genome.reserve(n);
-    for (std::size_t v : random_permutation(n, rng)) {
-      ind.genome.push_back(static_cast<TileId>(v));
-    }
+    // iota + shuffle in the genome's own storage draws exactly what
+    // random_permutation drew, keeping seeds compatible.
+    ind.genome.resize(n);
+    std::iota(ind.genome.begin(), ind.genome.end(), TileId{0});
+    rng.shuffle(ind.genome);
   }
   // Fitness is a pure function of the genome, so evaluations fan out; the
   // breeding RNG stream above never depends on them mid-generation.
@@ -106,33 +114,33 @@ Mapping GeneticMapper::map(const ObmProblem& problem) {
     return *best;
   };
 
+  std::vector<TileId> pmx_scratch;
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
     std::sort(population.begin(), population.end(), by_fitness);
-    std::vector<Individual> next;
-    next.reserve(population.size());
     for (std::size_t e = 0; e < params_.elites; ++e) {
-      next.push_back(population[e]);
+      next[e] = population[e];
     }
-    while (next.size() < population.size()) {
+    for (std::size_t k = params_.elites; k < population.size(); ++k) {
       const Individual& pa = tournament_pick();
       const Individual& pb = tournament_pick();
-      Individual child;
-      child.genome = rng.bernoulli(params_.crossover_rate)
-                         ? pmx(pa.genome, pb.genome, rng)
-                         : pa.genome;
+      Individual& child = next[k];
+      if (rng.bernoulli(params_.crossover_rate)) {
+        pmx_into(pa.genome, pb.genome, rng, child.genome, pmx_scratch);
+      } else {
+        child.genome = pa.genome;
+      }
       if (rng.bernoulli(params_.mutation_rate)) {
         const auto x = rng.uniform_u32(static_cast<std::uint32_t>(n));
         const auto y = rng.uniform_u32(static_cast<std::uint32_t>(n));
         std::swap(child.genome[x], child.genome[y]);
       }
-      next.push_back(std::move(child));
     }
     // Offspring fitness fans out (elites keep theirs from last generation).
     runner.for_each(next.size() - params_.elites, [&](std::size_t i) {
       Individual& ind = next[params_.elites + i];
       ind.fitness = fitness(problem, cache, ind.genome);
     });
-    population = std::move(next);
+    std::swap(population, next);
   }
 
   const auto best =

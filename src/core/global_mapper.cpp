@@ -1,7 +1,5 @@
 #include "core/global_mapper.h"
 
-#include <numeric>
-
 #include "assign/hungarian.h"
 #include "core/cost_cache.h"
 
@@ -10,13 +8,14 @@ namespace nocmap {
 Mapping GlobalMapper::map(const ObmProblem& problem) {
   const std::size_t n = problem.num_threads();
 
-  // The full N×N Hungarian cost matrix is exactly the memoized eq.-13 table.
+  // The full N×N assignment cost matrix is exactly the memoized eq.-13
+  // table, read in place — no copy, no per-solve allocations beyond the
+  // workspace's first use.
   const ThreadCostCache cache(problem.workload(), problem.model());
-  std::vector<TileId> all_tiles(n);
-  std::iota(all_tiles.begin(), all_tiles.end(), TileId{0});
-  const CostMatrix cost = cache.sam_matrix(0, all_tiles);
+  AssignmentWorkspace ws;
+  const CostView view(cache.row(0), n, n, cache.num_tiles());
 
-  const Assignment assignment = solve_assignment(cost);
+  const Assignment& assignment = ws.solve(view);
   Mapping mapping;
   mapping.thread_to_tile.resize(n);
   for (std::size_t j = 0; j < n; ++j) {

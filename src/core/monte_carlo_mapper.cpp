@@ -1,6 +1,7 @@
 #include "core/monte_carlo_mapper.h"
 
 #include <limits>
+#include <numeric>
 
 #include "core/cost_cache.h"
 #include "util/rng.h"
@@ -57,12 +58,18 @@ Mapping MonteCarloMapper::map(const ObmProblem& problem) {
     ShardBest& best = best_per_shard[s];
     const std::size_t lo = s * kShardSize;
     const std::size_t hi = std::min(lo + kShardSize, trials_);
+    // One permutation buffer per shard, re-derived in place each trial:
+    // iota + Fisher–Yates consumes the same RNG draws as
+    // random_permutation, so trial t still sees the exact stream it did
+    // when the loop allocated a fresh vector every time.
+    std::vector<std::size_t> perm(n);
     for (std::size_t t = lo; t < hi; ++t) {
-      auto perm = random_permutation(n, rng);
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      rng.shuffle(perm);
       const double apl = quick_objective(problem, cache, perm);
       if (apl < best.max_apl) {
         best.max_apl = apl;
-        best.perm = std::move(perm);
+        best.perm = perm;  // copy only on improvement
       }
     }
   });

@@ -32,18 +32,22 @@ RemapResult remap_balanced(const ObmProblem& problem,
   Mapping fresh = sss.map(problem);
 
   // Stage 2: within each application, migration-aware assignment onto the
-  // fresh tile set.
+  // fresh tile set. One workspace and one cost buffer serve every
+  // application's solve.
   RemapResult result;
   result.mapping.thread_to_tile.resize(problem.num_threads());
+  AssignmentWorkspace ws;
+  std::vector<double> cost;
+  std::vector<TileId> tiles;
   for (std::size_t a = 0; a < wl.num_applications(); ++a) {
     const std::size_t lo = wl.first_thread(a);
     const std::size_t dn = wl.last_thread(a) - lo;
-    std::vector<TileId> tiles(dn);
+    tiles.resize(dn);
     for (std::size_t t = 0; t < dn; ++t) {
       tiles[t] = fresh.thread_to_tile[lo + t];
     }
 
-    CostMatrix cost(dn, dn);
+    cost.resize(dn * dn);
     for (std::size_t t = 0; t < dn; ++t) {
       const std::size_t j = lo + t;
       const ThreadProfile& prof = wl.thread(j);
@@ -54,10 +58,11 @@ RemapResult remap_balanced(const ObmProblem& problem,
         if (has_old && old_mapping.thread_to_tile[j] != tiles[k]) {
           c += migration_penalty_cycles * prof.total_rate();
         }
-        cost.at(t, k) = c;
+        cost[t * dn + k] = c;
       }
     }
-    const Assignment assignment = solve_assignment(cost);
+    const Assignment& assignment =
+        ws.solve(CostView(cost.data(), dn, dn, dn));
     for (std::size_t t = 0; t < dn; ++t) {
       result.mapping.thread_to_tile[lo + t] =
           tiles[assignment.row_to_col[t]];

@@ -6,11 +6,10 @@ namespace nocmap {
 
 namespace {
 
-/// Shared tail of both overloads: solve the assignment and translate the
-/// column permutation back to tile ids.
-SamResult finish_sam(const CostMatrix& cost, std::span<const TileId> tiles,
-                     double volume) {
-  const Assignment assignment = solve_assignment(cost);
+/// Shared tail of every overload: translate the assignment's column
+/// permutation back to tile ids.
+SamResult finish_sam(const Assignment& assignment,
+                     std::span<const TileId> tiles, double volume) {
   SamResult result;
   result.tiles.resize(tiles.size());
   for (std::size_t j = 0; j < tiles.size(); ++j) {
@@ -39,18 +38,24 @@ SamResult solve_sam(std::span<const ThreadProfile> threads,
     }
     volume += threads[j].total_rate();
   }
-  return finish_sam(cost, tiles, volume);
+  AssignmentWorkspace ws;
+  return finish_sam(ws.solve(CostView::of(cost)), tiles, volume);
 }
 
 SamResult solve_sam(const ThreadCostCache& cache, std::size_t first_thread,
                     std::span<const TileId> tiles) {
+  AssignmentWorkspace ws;
+  return solve_sam(cache, first_thread, tiles, ws, /*warm=*/false);
+}
+
+SamResult solve_sam(const ThreadCostCache& cache, std::size_t first_thread,
+                    std::span<const TileId> tiles, AssignmentWorkspace& ws,
+                    bool warm) {
   NOCMAP_REQUIRE(!tiles.empty(), "SAM on empty application");
-  const std::size_t n = tiles.size();
-  double volume = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    volume += cache.rate(first_thread + j);
-  }
-  return finish_sam(cache.sam_matrix(first_thread, tiles), tiles, volume);
+  const CostView view = cache.sam_view(first_thread, tiles);
+  const Assignment& assignment = warm ? ws.solve_warm(view) : ws.solve(view);
+  return finish_sam(assignment, tiles,
+                    cache.rate_sum(first_thread, tiles.size()));
 }
 
 }  // namespace nocmap

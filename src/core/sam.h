@@ -37,4 +37,17 @@ SamResult solve_sam(std::span<const ThreadProfile> threads,
 SamResult solve_sam(const ThreadCostCache& cache, std::size_t first_thread,
                     std::span<const TileId> tiles);
 
+/// Hot-path variant: solves in place over the cache through a lazy CostView
+/// (no matrix materialization) using caller-owned scratch. With `warm` the
+/// workspace's column potentials from its previous solve seed the kernel —
+/// use for repeated near-identical solves of the *same logical site* (e.g.
+/// the same application across SSS passes). Warm starts never change the
+/// optimal APL; on instances with tied optima they may select a different
+/// optimal permutation than a cold solve, so determinism requires the
+/// workspace's solve history to be schedule-independent (key workspaces per
+/// application, not per worker).
+SamResult solve_sam(const ThreadCostCache& cache, std::size_t first_thread,
+                    std::span<const TileId> tiles, AssignmentWorkspace& ws,
+                    bool warm = false);
+
 }  // namespace nocmap

@@ -210,10 +210,17 @@ Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
   const std::size_t n = problem.num_threads();
   const std::size_t num_apps = wl.num_applications();
 
-  // Shared eq.-13 table: every SAM Hungarian call and every evaluator query
+  // Shared eq.-13 table: every SAM assignment call and every evaluator query
   // below reads this one immutable matrix.
   const ThreadCostCache cache(wl, problem.model());
   ParallelTrialRunner runner(options_.parallel);
+
+  // One assignment workspace per application, not per worker: the stage-2
+  // and stage-4 solves for application i always reuse sam_ws[i], so the
+  // warm-start history (and therefore the selected optimum, even on tied
+  // cost matrices) is identical no matter which worker runs the solve —
+  // which keeps the parallel mapping bit-identical to the serial one.
+  std::vector<AssignmentWorkspace> sam_ws(num_apps);
 
   // ---- Stage 1: sort tiles by cache APL.
   const std::vector<TileId> sorted = sorted_tiles(problem.model());
@@ -250,7 +257,7 @@ Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
   }
   runner.for_each(num_apps, [&](std::size_t i) {
     const std::size_t lo = wl.first_thread(i);
-    const SamResult sam = solve_sam(cache, lo, chosen[i]);
+    const SamResult sam = solve_sam(cache, lo, chosen[i], sam_ws[i]);
     for (std::size_t t = 0; t < chosen[i].size(); ++t) {
       mapping.thread_to_tile[lo + t] = sam.tiles[t];
     }
@@ -276,6 +283,9 @@ Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
 
   // ---- Stage 4: final SAM repair inside each application — independent
   // per-application solves over disjoint mapping ranges, so they fan out.
+  // Warm-started from each application's stage-2 potentials: the window
+  // swaps only perturb a few tiles per application, so the stage-2 duals
+  // are near-optimal and the repair solve is close to O(n²).
   if (options_.final_sam) {
     runner.for_each(num_apps, [&](std::size_t i) {
       const std::size_t lo = wl.first_thread(i);
@@ -284,7 +294,8 @@ Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
       for (std::size_t t = 0; t < dn; ++t) {
         tiles[t] = mapping.thread_to_tile[lo + t];
       }
-      const SamResult sam = solve_sam(cache, lo, tiles);
+      const SamResult sam = solve_sam(cache, lo, tiles, sam_ws[i],
+                                      /*warm=*/true);
       for (std::size_t t = 0; t < dn; ++t) {
         mapping.thread_to_tile[lo + t] = sam.tiles[t];
       }

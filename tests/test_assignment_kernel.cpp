@@ -1,0 +1,314 @@
+// Property tests for the allocation-free assignment kernel: CostView
+// indexing, workspace solves vs. the brute-force reference on adversarial
+// cost families, warm-start == cold-start assignment identity, rectangular
+// solves, and the ThreadCostCache prefix-sum / lazy-view plumbing.
+#include "assign/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/sam.h"
+#include "util/rng.h"
+
+namespace nocmap {
+namespace {
+
+CostMatrix random_matrix(std::size_t n, Rng& rng, double lo = 0.0,
+                         double hi = 10.0) {
+  CostMatrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m.at(r, c) = rng.uniform(lo, hi);
+  }
+  return m;
+}
+
+bool is_valid_partial_assignment(const std::vector<std::size_t>& p,
+                                 std::size_t num_cols) {
+  std::vector<char> seen(num_cols, 0);
+  for (std::size_t c : p) {
+    if (c >= num_cols || seen[c]) return false;
+    seen[c] = 1;
+  }
+  return true;
+}
+
+TEST(CostView, DenseViewMatchesMatrix) {
+  Rng rng(11);
+  const CostMatrix m = random_matrix(5, rng);
+  const CostView v = CostView::of(m);
+  ASSERT_EQ(v.rows(), 5u);
+  ASSERT_EQ(v.cols(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(v.at(r, c), m.at(r, c));
+    }
+  }
+}
+
+TEST(CostView, GatherReadsStridedColumns) {
+  // A 3×8 table viewed as 2 rows × 3 gathered columns.
+  std::vector<double> table(3 * 8);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    table[i] = static_cast<double>(i);
+  }
+  const std::vector<std::uint32_t> cols{7, 2, 5};
+  const CostView v(table.data(), 2, cols.size(), 8, cols.data());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      EXPECT_DOUBLE_EQ(v.at(r, c), table[r * 8 + cols[c]]);
+    }
+  }
+}
+
+TEST(CostView, WiderThanStrideRejected) {
+  std::vector<double> table(8, 0.0);
+  EXPECT_THROW(CostView(table.data(), 2, 4, 2), Error);
+}
+
+TEST(Workspace, MoreRowsThanColsRejected) {
+  std::vector<double> table(6, 0.0);
+  const CostView v(table.data(), 3, 2, 2);
+  AssignmentWorkspace ws;
+  EXPECT_THROW(ws.solve(v), Error);
+}
+
+// Adversarial cost families where tie-breaking and degeneracy bite: the
+// workspace (cold and warm) must match the exhaustive optimum on all of
+// them. Assignments may legitimately differ between solvers on ties, so the
+// comparison is on total cost.
+class KernelAdversarialProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelAdversarialProperty, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 101);
+  const std::size_t n = 2 + GetParam() % 7;  // sizes 2..8
+
+  std::vector<CostMatrix> family;
+  // Heavily tied costs: entries from a three-value set.
+  {
+    CostMatrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        m.at(r, c) = static_cast<double>(rng.uniform_u32(3));
+      }
+    }
+    family.push_back(m);
+  }
+  // Duplicate rows: two identical threads competing for the same tiles.
+  {
+    CostMatrix m = random_matrix(n, rng);
+    const std::size_t src = rng.uniform_u32(static_cast<std::uint32_t>(n));
+    const std::size_t dst = rng.uniform_u32(static_cast<std::uint32_t>(n));
+    for (std::size_t c = 0; c < n; ++c) m.at(dst, c) = m.at(src, c);
+    family.push_back(m);
+  }
+  // Zero traffic: the all-zero matrix (any permutation optimal at 0).
+  family.push_back(CostMatrix(n, n, 0.0));
+  // Near-degenerate: a constant matrix with perturbations at the edge of
+  // double precision.
+  {
+    CostMatrix m(n, n, 5.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        m.at(r, c) += rng.uniform(0.0, 1e-12);
+      }
+    }
+    family.push_back(m);
+  }
+
+  AssignmentWorkspace ws;
+  for (const CostMatrix& m : family) {
+    const Assignment reference = solve_assignment_brute_force(m);
+    const Assignment cold = ws.solve(CostView::of(m));
+    EXPECT_TRUE(is_valid_partial_assignment(cold.row_to_col, n));
+    EXPECT_NEAR(cold.total_cost, reference.total_cost, 1e-9);
+    // Warm solve seeded by whatever the previous family member left behind
+    // (same width, different costs): optimality must be unaffected.
+    const Assignment warm = ws.solve_warm(CostView::of(m));
+    EXPECT_TRUE(is_valid_partial_assignment(warm.row_to_col, n));
+    EXPECT_NEAR(warm.total_cost, reference.total_cost, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelAdversarialProperty,
+                         ::testing::Range(0, 28));
+
+// Warm-start determinism: on continuous random costs (unique optimum with
+// probability one) the warm solve must return the *identical* assignment as
+// a cold solve, across 20 seeds, even when the inherited potentials come
+// from an unrelated instance. The built-in cross-check re-runs each warm
+// solve cold in a shadow workspace and throws on any divergence.
+class WarmColdIdentityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmColdIdentityProperty, WarmAssignmentIdenticalToCold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 19);
+  const std::size_t n = 12;
+  const CostMatrix target = random_matrix(n, rng);
+  const CostMatrix pollutant = random_matrix(n, rng);
+
+  AssignmentWorkspace cold_ws;
+  const Assignment cold = cold_ws.solve(CostView::of(target));
+
+  AssignmentWorkspace warm_ws;
+  warm_ws.set_cross_check(true);
+  warm_ws.solve(CostView::of(pollutant));  // leave non-trivial potentials
+  const Assignment& warm = warm_ws.solve_warm(CostView::of(target));
+
+  EXPECT_EQ(warm.row_to_col, cold.row_to_col);
+  EXPECT_NEAR(warm.total_cost, cold.total_cost, 1e-9);
+
+  // Re-solving the identical instance warm is the SSS steady state; it must
+  // also reproduce the assignment exactly.
+  const Assignment& again = warm_ws.solve_warm(CostView::of(target));
+  EXPECT_EQ(again.row_to_col, cold.row_to_col);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmColdIdentityProperty,
+                         ::testing::Range(0, 20));
+
+TEST(Workspace, InvalidateForcesColdPath) {
+  Rng rng(77);
+  const CostMatrix a = random_matrix(6, rng);
+  const CostMatrix b = random_matrix(6, rng);
+
+  AssignmentWorkspace ws;
+  ws.solve(CostView::of(a));
+  ws.invalidate();
+  const Assignment after = ws.solve_warm(CostView::of(b));
+
+  AssignmentWorkspace fresh;
+  const Assignment cold = fresh.solve(CostView::of(b));
+  EXPECT_EQ(after.row_to_col, cold.row_to_col);
+  EXPECT_DOUBLE_EQ(after.total_cost, cold.total_cost);
+}
+
+// Rectangular rows < cols: the kernel leaves surplus columns unmatched.
+// Ground truth is the classic reduction — pad with zero-cost dummy rows and
+// solve square.
+class RectangularProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectangularProperty, MatchesZeroPaddedSquare) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 613 + 3);
+  const std::size_t rows = 2 + GetParam() % 3;  // 2..4
+  const std::size_t cols = rows + 1 + GetParam() % 4;
+
+  std::vector<double> table(rows * cols);
+  for (double& x : table) x = rng.uniform(0.0, 10.0);
+
+  AssignmentWorkspace ws;
+  const Assignment rect =
+      ws.solve(CostView(table.data(), rows, cols, cols));
+  EXPECT_EQ(rect.row_to_col.size(), rows);
+  EXPECT_TRUE(is_valid_partial_assignment(rect.row_to_col, cols));
+
+  CostMatrix padded(cols, cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      padded.at(r, c) = table[r * cols + c];
+    }
+  }
+  const Assignment reference = solve_assignment_brute_force(padded);
+  EXPECT_NEAR(rect.total_cost, reference.total_cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectangularProperty, ::testing::Range(0, 12));
+
+TEST(Workspace, ReusableAcrossChangingSizes) {
+  Rng rng(5);
+  AssignmentWorkspace ws;
+  for (std::size_t n : {5u, 3u, 8u, 4u, 8u}) {
+    const CostMatrix m = random_matrix(n, rng);
+    const Assignment got = ws.solve(CostView::of(m));
+    const Assignment want = solve_assignment_brute_force(m);
+    EXPECT_NEAR(got.total_cost, want.total_cost, 1e-9) << "n=" << n;
+    EXPECT_TRUE(is_valid_partial_assignment(got.row_to_col, n));
+  }
+}
+
+// ---- ThreadCostCache plumbing -------------------------------------------
+
+Workload random_workload(Rng& rng, std::size_t threads_a,
+                         std::size_t threads_b) {
+  Application a{"a", {}};
+  Application b{"b", {}};
+  for (std::size_t j = 0; j < threads_a; ++j) {
+    a.threads.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 2.0)});
+  }
+  for (std::size_t j = 0; j < threads_b; ++j) {
+    b.threads.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 2.0)});
+  }
+  return Workload({a, b});
+}
+
+TEST(ThreadCostCache, RateSumMatchesDirectSummation) {
+  Rng rng(42);
+  const Workload wl = random_workload(rng, 7, 9);
+  const Mesh mesh = Mesh::square(4);
+  const TileLatencyModel model(mesh, LatencyParams{});
+  const ThreadCostCache cache(wl, model);
+
+  for (std::size_t first = 0; first < wl.num_threads(); ++first) {
+    for (std::size_t count = 0; first + count <= wl.num_threads(); ++count) {
+      double direct = 0.0;
+      for (std::size_t j = first; j < first + count; ++j) {
+        direct += wl.thread(j).total_rate();
+      }
+      EXPECT_NEAR(cache.rate_sum(first, count), direct, 1e-12);
+    }
+  }
+}
+
+TEST(ThreadCostCache, SamViewAgreesWithSamMatrix) {
+  Rng rng(9);
+  const Workload wl = random_workload(rng, 6, 5);
+  const Mesh mesh = Mesh::square(4);
+  const TileLatencyModel model(mesh, LatencyParams{});
+  const ThreadCostCache cache(wl, model);
+
+  const std::size_t lo = wl.first_thread(1);
+  const std::vector<TileId> tiles{14, 3, 9, 0, 7};
+  const CostView view = cache.sam_view(lo, tiles);
+  const CostMatrix matrix = cache.sam_matrix(lo, tiles);
+
+  ASSERT_EQ(view.rows(), matrix.rows());
+  ASSERT_EQ(view.cols(), matrix.cols());
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    for (std::size_t c = 0; c < view.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(view.at(r, c), matrix.at(r, c));
+    }
+  }
+
+  AssignmentWorkspace ws;
+  const Assignment via_view = ws.solve(view);
+  const Assignment via_matrix = solve_assignment(matrix);
+  EXPECT_EQ(via_view.row_to_col, via_matrix.row_to_col);
+  EXPECT_NEAR(via_view.total_cost, via_matrix.total_cost, 1e-9);
+}
+
+TEST(Sam, WorkspaceOverloadMatchesClassicPath) {
+  Rng rng(31);
+  const Workload wl = random_workload(rng, 8, 6);
+  const Mesh mesh = Mesh::square(4);
+  const TileLatencyModel model(mesh, LatencyParams{});
+  const ThreadCostCache cache(wl, model);
+
+  const std::size_t lo = wl.first_thread(0);
+  const std::vector<TileId> tiles{2, 13, 5, 8, 11, 1, 15, 4};
+  const SamResult classic = solve_sam(cache, lo, tiles);
+
+  AssignmentWorkspace ws;
+  const SamResult cold = solve_sam(cache, lo, tiles, ws);
+  EXPECT_EQ(cold.tiles, classic.tiles);
+  EXPECT_NEAR(cold.apl, classic.apl, 1e-9);
+
+  // Warm re-solves of the same site must keep returning the same answer.
+  for (int pass = 0; pass < 3; ++pass) {
+    const SamResult warm = solve_sam(cache, lo, tiles, ws, /*warm=*/true);
+    EXPECT_EQ(warm.tiles, classic.tiles);
+    EXPECT_NEAR(warm.apl, classic.apl, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nocmap

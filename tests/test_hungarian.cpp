@@ -107,7 +107,13 @@ TEST(AssignmentCost, ComputesAndValidates) {
   m.at(1, 0) = 6.0;
   EXPECT_DOUBLE_EQ(assignment_cost(m, {1, 0}), 10.0);
   EXPECT_THROW(assignment_cost(m, {0}), Error);
+#ifndef NDEBUG
+  // Per-element column validation is NOCMAP_ASSERT-only (hot-loop helper):
+  // it throws in debug builds and is compiled out under NDEBUG, where an
+  // out-of-range column would be undefined behaviour — so only exercise it
+  // when the check exists.
   EXPECT_THROW(assignment_cost(m, {0, 5}), Error);
+#endif
 }
 
 // Property: Hungarian == brute force on random instances.
