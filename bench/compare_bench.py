@@ -88,7 +88,14 @@ def main():
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
-              f"{args.tolerance:.0%} of the committed baseline.")
+              f"{args.tolerance:.0%} of the committed baseline:")
+        for key, old, new in regressions:
+            if new is None:
+                print(f"  {key}: baseline {old:.1f}, measured MISSING")
+            else:
+                delta = 100.0 * (new - old) / old if old > 0 else float("inf")
+                print(f"  {key}: baseline {old:.1f}, measured {new:.1f}, "
+                      f"{delta:+.1f}%")
         return 1
     print(f"\nOK: all {len(baseline)} metrics within {args.tolerance:.0%} "
           "of the committed baseline.")

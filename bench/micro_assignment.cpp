@@ -31,6 +31,7 @@
 #include "core/cost_cache.h"
 #include "core/genetic_mapper.h"
 #include "core/sam.h"
+#include "obs/run_report.h"
 
 namespace {
 
@@ -161,6 +162,7 @@ void write_assignment_json(const std::filesystem::path& path,
        << (i + 1 < sizes.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
+  obs::RunReport::global().note_artifact(path.string());
   std::cout << "[json: " << path.string() << "]\n";
 }
 
@@ -177,6 +179,7 @@ void write_mappers_json(const std::filesystem::path& path,
        << (i + 1 < mappers.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
+  obs::RunReport::global().note_artifact(path.string());
   std::cout << "[json: " << path.string() << "]\n";
 }
 
@@ -198,6 +201,11 @@ int main(int argc, char** argv) {
               << "us  warm=" << r.warm_ns / 1e3
               << "us  (warm speedup vs legacy: "
               << r.legacy_ns / r.warm_ns << "x)\n";
+    const std::string prefix = "assignment.n" + std::to_string(r.n);
+    obs::RunReport::global().set(prefix + ".warm_ns", r.warm_ns);
+    obs::RunReport::global().set(prefix + ".warm_speedup_vs_legacy",
+                                 r.warm_ns > 0.0 ? r.legacy_ns / r.warm_ns
+                                                 : 0.0);
   }
 
   const std::vector<MapperResult> mappers = bench_mappers();

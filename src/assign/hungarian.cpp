@@ -5,7 +5,22 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace nocmap {
+
+namespace {
+
+// Kernel statistics (DESIGN.md §9, docs/metrics-schema.md). Counted locally
+// per solve and published with one add each, so the instrumentation stays
+// off the inner scan loop.
+const obs::Counter c_cold_solves("assign.cold_solves");
+const obs::Counter c_warm_solves("assign.warm_solves");
+const obs::Counter c_warm_hits("assign.warm_hits");
+const obs::Counter c_rows_inserted("assign.rows_inserted");
+const obs::Counter c_path_steps("assign.path_steps");
+
+}  // namespace
 
 CostMatrix::CostMatrix(std::size_t rows, std::size_t cols, double init)
     : rows_(rows), cols_(cols), data_(rows * cols, init) {
@@ -47,10 +62,11 @@ struct GatherCol {
 // from a previous solve (warm) — yield an exact optimum; warmth only
 // shortens the augmenting paths.
 template <typename ColMap>
-void AssignmentWorkspace::run_kernel(const double* data, std::size_t stride,
-                                     ColMap col, std::size_t nr,
-                                     std::size_t nc) {
+std::uint64_t AssignmentWorkspace::run_kernel(const double* data,
+                                              std::size_t stride, ColMap col,
+                                              std::size_t nr, std::size_t nc) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::uint64_t path_steps = 0;
   for (std::size_t i = 1; i <= nr; ++i) {
     p_[0] = i;
     std::size_t j0 = 0;
@@ -59,6 +75,7 @@ void AssignmentWorkspace::run_kernel(const double* data, std::size_t stride,
     std::fill(used_.begin(), used_.begin() + static_cast<std::ptrdiff_t>(nc) + 1,
               char{0});
     do {
+      ++path_steps;
       used_[j0] = 1;
       const std::size_t i0 = p_[j0];
       const double* row = data + (i0 - 1) * stride;
@@ -94,6 +111,7 @@ void AssignmentWorkspace::run_kernel(const double* data, std::size_t stride,
       j0 = j1;
     } while (j0 != 0);
   }
+  return path_steps;
 }
 
 void AssignmentWorkspace::solve_impl(const CostView& view, bool warm) {
@@ -101,6 +119,11 @@ void AssignmentWorkspace::solve_impl(const CostView& view, bool warm) {
   const std::size_t nc = view.cols();
   NOCMAP_REQUIRE(nr <= nc,
                  "assignment needs at least as many columns as rows");
+
+  const bool warm_hit = warm && warm_cols_ == nc;
+  (warm ? c_warm_solves : c_cold_solves).add();
+  if (warm_hit) c_warm_hits.add();
+  c_rows_inserted.add(nr);
 
   if (u_.size() < nr + 1) u_.resize(nr + 1);
   if (v_.size() < nc + 1) {
@@ -122,12 +145,14 @@ void AssignmentWorkspace::solve_impl(const CostView& view, bool warm) {
   std::fill(p_.begin(), p_.begin() + static_cast<std::ptrdiff_t>(nc) + 1,
             std::size_t{0});
 
+  std::uint64_t path_steps = 0;
   if (view.col_index() != nullptr) {
-    run_kernel(view.data(), view.stride(), GatherCol{view.col_index()}, nr,
-               nc);
+    path_steps = run_kernel(view.data(), view.stride(),
+                            GatherCol{view.col_index()}, nr, nc);
   } else {
-    run_kernel(view.data(), view.stride(), IdentityCol{}, nr, nc);
+    path_steps = run_kernel(view.data(), view.stride(), IdentityCol{}, nr, nc);
   }
+  c_path_steps.add(path_steps);
   warm_cols_ = nc;
 
   result_.row_to_col.assign(nr, 0);

@@ -143,9 +143,12 @@ class AssignmentWorkspace {
 
  private:
   void solve_impl(const CostView& view, bool warm);
+  /// Returns the number of shortest-path scan steps (inner Dijkstra
+  /// iterations across all row insertions) — the quantity warm starts
+  /// shrink, exported through the observability counters.
   template <typename ColMap>
-  void run_kernel(const double* data, std::size_t stride, ColMap col,
-                  std::size_t nr, std::size_t nc);
+  std::uint64_t run_kernel(const double* data, std::size_t stride, ColMap col,
+                           std::size_t nr, std::size_t nc);
 
   std::vector<double> u_;     // row potentials, 1-based
   std::vector<double> v_;     // column potentials, 1-based

@@ -8,9 +8,22 @@
 
 #include "core/cost_cache.h"
 #include "core/evaluator.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace nocmap {
+
+namespace {
+
+// Iteration-throughput metrics (docs/metrics-schema.md). Accumulated locally
+// per chain and published with one add each when the chain finishes, so the
+// per-iteration hot loop carries plain integer increments only.
+const obs::Timer t_map("sa.map");
+const obs::Counter c_chains("sa.chains");
+const obs::Counter c_iterations("sa.iterations");
+const obs::Counter c_accepts("sa.accepts");
+
+}  // namespace
 
 const char* anneal_objective_name(AnnealObjective objective) {
   switch (objective) {
@@ -73,6 +86,7 @@ double objective_value(const MappingEvaluator& eval, std::size_t num_apps,
 Mapping AnnealingMapper::map(const ObmProblem& problem) {
   NOCMAP_REQUIRE(params_.iterations > 0, "SA needs at least one iteration");
   NOCMAP_REQUIRE(params_.restarts > 0, "SA needs at least one restart");
+  const obs::ScopedTimer map_scope(t_map);
   const std::size_t n = problem.num_threads();
   const std::size_t num_apps = problem.num_applications();
   const ThreadCostCache cache(problem.workload(), problem.model());
@@ -108,7 +122,10 @@ Mapping AnnealingMapper::map(const ObmProblem& problem) {
         std::pow(t_end / t0, 1.0 / static_cast<double>(params_.iterations));
 
     double temp = t0;
+    std::uint64_t iterations = 0;
+    std::uint64_t accepts = 0;
     for (std::size_t it = 0; it < params_.iterations; ++it, temp *= alpha) {
+      ++iterations;
       const auto j1 = static_cast<std::size_t>(
           rng.uniform_u32(static_cast<std::uint32_t>(n)));
       const auto j2 = static_cast<std::size_t>(
@@ -120,6 +137,7 @@ Mapping AnnealingMapper::map(const ObmProblem& problem) {
                                                params_.objective);
       const double delta = candidate - current;
       if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+        ++accepts;
         current = candidate;
         if (current < result.obj) {
           result.obj = current;
@@ -129,6 +147,9 @@ Mapping AnnealingMapper::map(const ObmProblem& problem) {
         eval.swap_threads(j1, j2);  // revert
       }
     }
+    c_chains.add();
+    c_iterations.add(iterations);
+    c_accepts.add(accepts);
     return result;
   };
 

@@ -6,11 +6,18 @@
 
 #include "core/cost_cache.h"
 #include "core/metrics.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace nocmap {
 
 namespace {
+
+// Generation-throughput metrics (docs/metrics-schema.md). Evaluations are
+// summed locally across the run and published once, off the breeding loop.
+const obs::Timer t_map("ga.map");
+const obs::Counter c_generations("ga.generations");
+const obs::Counter c_evaluations("ga.evaluations");
 
 using Genome = std::vector<TileId>;
 
@@ -71,6 +78,7 @@ Mapping GeneticMapper::map(const ObmProblem& problem) {
                  "elites must be < population");
   NOCMAP_REQUIRE(params_.tournament >= 1, "tournament must be >= 1");
 
+  const obs::ScopedTimer map_scope(t_map);
   const std::size_t n = problem.num_threads();
   Rng rng(params_.seed);
   const ThreadCostCache cache(problem.workload(), problem.model());
@@ -114,6 +122,7 @@ Mapping GeneticMapper::map(const ObmProblem& problem) {
     return *best;
   };
 
+  std::uint64_t evaluations = population.size();  // initial fitness fan-out
   std::vector<TileId> pmx_scratch;
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
     std::sort(population.begin(), population.end(), by_fitness);
@@ -140,8 +149,11 @@ Mapping GeneticMapper::map(const ObmProblem& problem) {
       Individual& ind = next[params_.elites + i];
       ind.fitness = fitness(problem, cache, ind.genome);
     });
+    evaluations += next.size() - params_.elites;
     std::swap(population, next);
   }
+  c_generations.add(params_.generations);
+  c_evaluations.add(evaluations);
 
   const auto best =
       std::min_element(population.begin(), population.end(), by_fitness);

@@ -4,11 +4,18 @@
 #include <numeric>
 
 #include "core/cost_cache.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace nocmap {
 
 namespace {
+
+// Throughput metrics (docs/metrics-schema.md): trials are accumulated once
+// per shard — one relaxed add per 256 trials, nothing inside the trial loop.
+const obs::Timer t_map("mc.map");
+const obs::Counter c_trials("mc.trials");
+const obs::Counter c_shards("mc.shards");
 
 /// OBM objective (weighted max-APL) of a permutation, computed directly in
 /// O(N + A) from the memoized eq.-13 table; avoids both the full
@@ -42,6 +49,7 @@ struct ShardBest {
 
 Mapping MonteCarloMapper::map(const ObmProblem& problem) {
   NOCMAP_REQUIRE(trials_ > 0, "MonteCarloMapper needs at least one trial");
+  const obs::ScopedTimer map_scope(t_map);
   const std::size_t n = problem.num_threads();
   const Rng base(seed_);
   const ThreadCostCache cache(problem.workload(), problem.model());
@@ -58,6 +66,8 @@ Mapping MonteCarloMapper::map(const ObmProblem& problem) {
     ShardBest& best = best_per_shard[s];
     const std::size_t lo = s * kShardSize;
     const std::size_t hi = std::min(lo + kShardSize, trials_);
+    c_trials.add(hi - lo);
+    c_shards.add();
     // One permutation buffer per shard, re-derived in place each trial:
     // iota + Fisher–Yates consumes the same RNG draws as
     // random_permutation, so trial t still sees the exact stream it did

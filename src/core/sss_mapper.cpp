@@ -8,8 +8,28 @@
 #include "core/cost_cache.h"
 #include "core/evaluator.h"
 #include "core/sam.h"
+#include "obs/metrics.h"
 
 namespace nocmap {
+
+namespace {
+
+// Stage timings and fine-tuning statistics (docs/metrics-schema.md). The
+// timers wrap whole stages and the counters are accumulated locally per
+// sweep/round, so nothing lands on the per-permutation hot path — and
+// nothing here feeds back into the mapping, preserving the parallel
+// engine's bit-identity contract.
+const obs::Timer t_sort("sss.sort");
+const obs::Timer t_select("sss.select");
+const obs::Timer t_swap("sss.swap");
+const obs::Timer t_final_sam("sss.final_sam");
+const obs::Counter c_maps("sss.maps");
+const obs::Counter c_windows_evaluated("sss.windows_evaluated");
+const obs::Counter c_windows_committed("sss.windows_committed");
+const obs::Counter c_rounds("sss.rounds");
+const obs::Counter c_stale_discarded("sss.windows_discarded_stale");
+
+}  // namespace
 
 std::vector<TileId> SortSelectSwapMapper::sorted_tiles(
     const TileLatencyModel& model) {
@@ -105,11 +125,15 @@ void sweep_windows_serial(MappingEvaluator& eval,
                           std::span<const TileId> sorted,
                           std::span<const Window> windows, std::size_t w) {
   WindowScratch s(w);
+  std::uint64_t committed = 0;
   for (const Window& win : windows) {
     if (evaluate_window(eval, sorted, win, s)) {
       eval.apply_group(s.window_threads, s.best_tiles);
+      ++committed;
     }
   }
+  c_windows_evaluated.add(windows.size());
+  c_windows_committed.add(committed);
 }
 
 /// Speculative parallel sweep (snapshot-evaluate-commit rounds).
@@ -146,11 +170,18 @@ void sweep_windows_parallel(MappingEvaluator& eval,
   std::vector<WindowResult> results(windows.size());
   WindowScratch commit_scratch(w);
 
+  std::uint64_t rounds = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t n_committed = 0;
+  std::uint64_t stale = 0;
+
   std::size_t pos = 0;
   std::size_t round = min_round;
   while (pos < windows.size()) {
     const std::size_t end = std::min(pos + round, windows.size());
     const std::size_t count = end - pos;
+    ++rounds;
+    evaluated += count;
 
     // Fan out: each task copies the evaluator once (evaluate_window
     // restores it exactly between windows) and fills its result slots.
@@ -186,8 +217,10 @@ void sweep_windows_parallel(MappingEvaluator& eval,
         eval.apply_group(commit_scratch.window_threads,
                          results[i].best_tiles);
         committed = true;
+        ++n_committed;
         if (deterministic) {
           next = i + 1;  // later speculations are stale; restart after i
+          stale += end - next;
           break;
         }
       } else if (evaluate_window(eval, sorted, windows[i], commit_scratch)) {
@@ -195,17 +228,24 @@ void sweep_windows_parallel(MappingEvaluator& eval,
         // on the live evaluator before committing.
         eval.apply_group(commit_scratch.window_threads,
                          commit_scratch.best_tiles);
+        ++n_committed;
       }
     }
     pos = next;
     round = committed ? min_round : std::min(round * 2, max_round);
   }
+
+  c_rounds.add(rounds);
+  c_windows_evaluated.add(evaluated);
+  c_windows_committed.add(n_committed);
+  c_stale_discarded.add(stale);
 }
 
 }  // namespace
 
 Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
   NOCMAP_REQUIRE(options_.window_size >= 2, "window size must be >= 2");
+  c_maps.add();
   const Workload& wl = problem.workload();
   const std::size_t n = problem.num_threads();
   const std::size_t num_apps = wl.num_applications();
@@ -223,7 +263,11 @@ Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
   std::vector<AssignmentWorkspace> sam_ws(num_apps);
 
   // ---- Stage 1: sort tiles by cache APL.
-  const std::vector<TileId> sorted = sorted_tiles(problem.model());
+  std::vector<TileId> sorted;
+  {
+    const obs::ScopedTimer scope(t_sort);
+    sorted = sorted_tiles(problem.model());
+  }
 
   // ---- Stage 2: per application, select evenly spread tiles from the
   // remaining list (sequential by construction — each application picks
@@ -231,8 +275,9 @@ Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
   // tiles; the per-application Hungarian solves are independent and fan out.
   Mapping mapping;
   mapping.thread_to_tile.resize(n);
-  std::vector<std::vector<TileId>> chosen(num_apps);
   {
+    const obs::ScopedTimer select_scope(t_select);
+    std::vector<std::vector<TileId>> chosen(num_apps);
     std::vector<TileId> avail = sorted;
     for (std::size_t i = 0; i < num_apps; ++i) {
       const std::size_t dn = wl.last_thread(i) - wl.first_thread(i);
@@ -254,18 +299,19 @@ Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
         avail.erase(avail.begin() + static_cast<std::ptrdiff_t>(picks[s]));
       }
     }
+    runner.for_each(num_apps, [&](std::size_t i) {
+      const std::size_t lo = wl.first_thread(i);
+      const SamResult sam = solve_sam(cache, lo, chosen[i], sam_ws[i]);
+      for (std::size_t t = 0; t < chosen[i].size(); ++t) {
+        mapping.thread_to_tile[lo + t] = sam.tiles[t];
+      }
+    });
   }
-  runner.for_each(num_apps, [&](std::size_t i) {
-    const std::size_t lo = wl.first_thread(i);
-    const SamResult sam = solve_sam(cache, lo, chosen[i], sam_ws[i]);
-    for (std::size_t t = 0; t < chosen[i].size(); ++t) {
-      mapping.thread_to_tile[lo + t] = sam.tiles[t];
-    }
-  });
 
   // ---- Stage 3: greedy sliding-window permutation swaps over the sorted
   // tile list.
   if (options_.window_swaps) {
+    const obs::ScopedTimer swap_scope(t_swap);
     MappingEvaluator eval(problem, std::move(mapping), cache);
     const std::size_t w = options_.window_size;
     const std::size_t max_step =
@@ -287,6 +333,7 @@ Mapping SortSelectSwapMapper::map(const ObmProblem& problem) {
   // swaps only perturb a few tiles per application, so the stage-2 duals
   // are near-optimal and the repair solve is close to O(n²).
   if (options_.final_sam) {
+    const obs::ScopedTimer sam_scope(t_final_sam);
     runner.for_each(num_apps, [&](std::size_t i) {
       const std::size_t lo = wl.first_thread(i);
       const std::size_t dn = wl.last_thread(i) - lo;

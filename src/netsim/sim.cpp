@@ -2,10 +2,74 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace nocmap {
+
+namespace {
+
+// Simulation metrics (docs/metrics-schema.md): totals published once per
+// run_simulation call, gauges keeping the worst load seen by any run in the
+// process. Nothing is touched inside the cycle loop.
+const obs::Timer t_run("netsim.run_simulation");
+const obs::Counter c_runs("netsim.runs");
+const obs::Counter c_cycles("netsim.cycles");
+const obs::Counter c_packets("netsim.packets_measured");
+const obs::Counter c_flits_injected("netsim.flits_injected");
+const obs::Counter c_flits_ejected("netsim.flits_ejected");
+const obs::Counter c_link_traversals("netsim.link_traversals");
+const obs::Counter c_queue_wait("netsim.queue_wait_cycles");
+const obs::Gauge g_link_util("netsim.max_link_utilization");
+const obs::Gauge g_crossbar("netsim.max_crossbar_per_cycle");
+const obs::Gauge g_queue_wait("netsim.max_avg_queue_wait");
+const obs::Gauge g_occupancy("netsim.max_queue_occupancy");
+
+/// Directed inter-router links in a rows×cols mesh (torus wrap links
+/// included when present): each adjacent pair contributes one link per
+/// direction.
+std::uint64_t num_directed_links(const Mesh& mesh) {
+  const std::uint64_t r = mesh.rows();
+  const std::uint64_t c = mesh.cols();
+  std::uint64_t undirected = r * (c - 1) + c * (r - 1);
+  if (mesh.is_torus()) undirected += r + c;  // wraparound links
+  return 2 * undirected;
+}
+
+RouterLoadSummary summarize_load(const Network& net, const Mesh& mesh,
+                                 Cycle measured) {
+  RouterLoadSummary load;
+  if (measured == 0) return load;
+  const double cycles = static_cast<double>(measured);
+  const std::size_t tiles = mesh.num_tiles();
+  double crossbar_sum = 0.0;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const ActivityCounters& a = net.router_activity(static_cast<TileId>(t));
+    const double per_cycle = static_cast<double>(a.crossbar_traversals) /
+                             cycles;
+    crossbar_sum += per_cycle;
+    if (per_cycle > load.max_crossbar_per_cycle) {
+      load.max_crossbar_per_cycle = per_cycle;
+      load.hottest_router = static_cast<TileId>(t);
+    }
+    load.max_avg_queue_wait =
+        std::max(load.max_avg_queue_wait, a.avg_queue_wait());
+    load.max_queue_occupancy =
+        std::max(load.max_queue_occupancy,
+                 static_cast<double>(a.queue_wait_cycles) / cycles);
+  }
+  load.mean_crossbar_per_cycle =
+      crossbar_sum / static_cast<double>(tiles);
+  load.link_utilization =
+      static_cast<double>(net.total_activity().link_traversals) /
+      (static_cast<double>(num_directed_links(mesh)) * cycles);
+  return load;
+}
+
+}  // namespace
 
 SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
                          const SimConfig& config) {
+  const obs::ScopedTimer run_scope(t_run);
   Network net(problem.mesh(), config.network);
   TrafficEngine traffic(problem, mapping, config.traffic);
 
@@ -56,6 +120,7 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
     drain_ejections(net.now());
   }
   result.activity = net.total_activity();
+  result.load = summarize_load(net, problem.mesh(), config.measure_cycles);
   result.measured_cycles = config.measure_cycles;
 
   // --- Drain: stop creating requests, let replies and in-flight packets
@@ -87,6 +152,20 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
     result.dev_apl = stddev_population(active);
   }
   result.g_apl = result.overall.mean();
+  result.flits_injected = net.flits_injected();
+  result.flits_ejected = net.flits_ejected();
+
+  c_runs.add();
+  c_cycles.add(measure_end + drained);
+  c_packets.add(result.packets_measured);
+  c_flits_injected.add(result.flits_injected);
+  c_flits_ejected.add(result.flits_ejected);
+  c_link_traversals.add(result.activity.link_traversals);
+  c_queue_wait.add(result.activity.queue_wait_cycles);
+  g_link_util.set_max(result.load.link_utilization);
+  g_crossbar.set_max(result.load.max_crossbar_per_cycle);
+  g_queue_wait.set_max(result.load.max_avg_queue_wait);
+  g_occupancy.set_max(result.load.max_queue_occupancy);
   return result;
 }
 

@@ -28,6 +28,28 @@ struct SimConfig {
   NetworkConfig network;
 };
 
+/// Measurement-window load digest across routers and links — the netsim
+/// counters surfaced through RunReports (docs/metrics-schema.md). All rates
+/// are per measured cycle; utilizations are in [0, 1].
+struct RouterLoadSummary {
+  /// Max / mean over routers of crossbar traversals per cycle (a 5-port
+  /// router can move up to 5 flits per cycle, so this is util·5).
+  double max_crossbar_per_cycle = 0.0;
+  double mean_crossbar_per_cycle = 0.0;
+  /// Largest per-router average queuing delay (cycles per buffered flit
+  /// beyond the pipeline minimum) — the hotspot counterpart of td_q.
+  double max_avg_queue_wait = 0.0;
+  /// Largest per-router input-buffer occupancy integral per cycle
+  /// (queue_wait_cycles / measured_cycles): mean number of flits queued
+  /// at the busiest router.
+  double max_queue_occupancy = 0.0;
+  /// Fraction of directed mesh links busy, averaged over the window:
+  /// link_traversals / (num_directed_links · measured_cycles).
+  double link_utilization = 0.0;
+  /// Router with the most crossbar traversals (hotspot location).
+  TileId hottest_router = 0;
+};
+
 struct SimResult {
   /// Per-application measured APL (cycles), index-aligned with the
   /// workload's applications. Zero-traffic applications report 0.
@@ -53,10 +75,16 @@ struct SimResult {
 
   /// Fabric activity during the measurement window (for DSENT-lite).
   ActivityCounters activity;
+  /// Per-router / per-link load digest over the same window.
+  RouterLoadSummary load;
   Cycle measured_cycles = 0;
 
   std::uint64_t packets_measured = 0;
   std::uint64_t local_accesses = 0;
+  /// Whole-run flit conservation endpoints (injection == ejection once the
+  /// drain completes).
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_ejected = 0;
   /// True if the drain phase hit its cap with packets still in flight.
   bool drain_incomplete = false;
 };

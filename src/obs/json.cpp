@@ -1,0 +1,180 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace nocmap::obs {
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  NOCMAP_REQUIRE(type_ == Type::kObject, "json [] on a non-object value");
+  for (auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  members_.emplace_back(key, JsonValue{});
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  NOCMAP_REQUIRE(type_ == Type::kArray, "json push_back on a non-array value");
+  items_.push_back(std::move(v));
+}
+
+JsonValue& JsonValue::at_path(const std::string& dotted_path) {
+  JsonValue* node = this;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = dotted_path.find('.', start);
+    if (dot == std::string::npos) {
+      return (*node)[dotted_path.substr(start)];
+    }
+    node = &(*node)[dotted_path.substr(start, dot - start)];
+    start = dot + 1;
+  }
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return items_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+std::string JsonValue::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  // Non-finite values are not representable in JSON; emit null (the reader
+  // treats it as "not measured").
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  // %.17g round-trips every double; trim to the shortest form that still
+  // reads naturally by preferring %g's default when it round-trips.
+  std::snprintf(buf, sizeof buf, "%g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                               ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%" PRId64, int_);
+      out += buf;
+      break;
+    }
+    case Type::kUint: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%" PRIu64, uint_);
+      out += buf;
+      break;
+    }
+    case Type::kDouble: append_double(out, double_); break;
+    case Type::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += escape(members_[i].first);
+        out += '"';
+        out += colon;
+        members_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace nocmap::obs

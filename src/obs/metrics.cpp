@@ -1,0 +1,210 @@
+#include "obs/metrics.h"
+
+#if NOCMAP_OBS_ENABLED
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace nocmap::obs {
+
+namespace {
+
+/// Hard cap on distinct metrics. Sinks are fixed-capacity arrays so slot
+/// addresses never move — a snapshot can read a live sink while its owner
+/// thread keeps writing, with no resize race. 512 is ~20× the current
+/// registration count; registration past the cap throws.
+constexpr std::size_t kMaxMetrics = 512;
+
+/// One thread's private metric storage. All members are relaxed atomics:
+/// the owner thread is the only writer, snapshots are the only other
+/// readers, and integer sums need no ordering to merge deterministically.
+struct ThreadSink {
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics> count{};
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics> total_ns{};
+  std::array<std::atomic<double>, kMaxMetrics> gauge{};
+};
+
+struct Registry {
+  std::mutex mu;
+  // id-indexed metric identities.
+  std::vector<std::pair<std::string, MetricKind>> metrics;
+  std::unordered_map<std::string, std::uint32_t> by_name;
+  // Live sinks (owned by their threads) + totals folded from exited threads.
+  std::vector<ThreadSink*> live;
+  std::array<std::uint64_t, kMaxMetrics> retired_count{};
+  std::array<std::uint64_t, kMaxMetrics> retired_ns{};
+  std::array<double, kMaxMetrics> retired_gauge{};
+  std::array<std::uint64_t, kMaxMetrics> retired_gauge_sets{};
+};
+
+/// Leaked singleton: outlives every thread-local sink destructor, so
+/// retirement at any point of process teardown stays safe.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::uint32_t register_metric(const char* name, MetricKind kind) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (const auto it = r.by_name.find(name); it != r.by_name.end()) {
+    NOCMAP_REQUIRE(r.metrics[it->second].second == kind,
+                   std::string("metric re-registered with a different kind: ") +
+                       name);
+    return it->second;
+  }
+  NOCMAP_REQUIRE(r.metrics.size() < kMaxMetrics,
+                 "observability metric capacity exhausted");
+  const auto id = static_cast<std::uint32_t>(r.metrics.size());
+  r.metrics.emplace_back(name, kind);
+  r.by_name.emplace(name, id);
+  return id;
+}
+
+/// Registers the calling thread's sink on first touch and folds it into the
+/// retired totals when the thread exits.
+struct SinkHandle {
+  ThreadSink* sink;
+
+  SinkHandle() : sink(new ThreadSink()) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(sink);
+  }
+
+  ~SinkHandle() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (std::size_t i = 0; i < kMaxMetrics; ++i) {
+      const std::uint64_t c = sink->count[i].load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      if (i < r.metrics.size() && r.metrics[i].second == MetricKind::kGauge) {
+        r.retired_gauge_sets[i] += c;
+        r.retired_gauge[i] = std::max(
+            r.retired_gauge[i], sink->gauge[i].load(std::memory_order_relaxed));
+      } else {
+        r.retired_count[i] += c;
+        r.retired_ns[i] +=
+            sink->total_ns[i].load(std::memory_order_relaxed);
+      }
+    }
+    r.live.erase(std::find(r.live.begin(), r.live.end(), sink));
+    delete sink;
+  }
+};
+
+ThreadSink& tls_sink() {
+  thread_local SinkHandle handle;
+  return *handle.sink;
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Counter::Counter(const char* name)
+    : id_(register_metric(name, MetricKind::kCounter)) {}
+
+void Counter::add(std::uint64_t delta) const noexcept {
+  tls_sink().count[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+Timer::Timer(const char* name)
+    : id_(register_metric(name, MetricKind::kTimer)), name_(name) {}
+
+void Timer::record_ns(std::uint64_t ns, std::uint64_t spans) const noexcept {
+  ThreadSink& sink = tls_sink();
+  sink.count[id_].fetch_add(spans, std::memory_order_relaxed);
+  sink.total_ns[id_].fetch_add(ns, std::memory_order_relaxed);
+}
+
+Gauge::Gauge(const char* name)
+    : id_(register_metric(name, MetricKind::kGauge)) {}
+
+void Gauge::set_max(double v) const noexcept {
+  ThreadSink& sink = tls_sink();
+  sink.count[id_].fetch_add(1, std::memory_order_relaxed);
+  // Owner thread is the only writer, so a load+store maximum is race-free.
+  if (v > sink.gauge[id_].load(std::memory_order_relaxed)) {
+    sink.gauge[id_].store(v, std::memory_order_relaxed);
+  }
+}
+
+ScopedTimer::ScopedTimer(const Timer& timer) noexcept
+    : timer_(&timer), start_ns_(steady_now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const std::uint64_t dur = steady_now_ns() - start_ns_;
+  timer_->record_ns(dur);
+  if (tracing_enabled()) trace_emit(timer_->name(), start_ns_, dur);
+}
+
+std::vector<MetricRow> snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<MetricRow> rows;
+  rows.reserve(r.metrics.size());
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    MetricRow row;
+    row.name = r.metrics[i].first;
+    row.kind = r.metrics[i].second;
+    if (row.kind == MetricKind::kGauge) {
+      row.count = r.retired_gauge_sets[i];
+      double best = r.retired_gauge_sets[i] > 0 ? r.retired_gauge[i] : 0.0;
+      for (const ThreadSink* sink : r.live) {
+        if (sink->count[i].load(std::memory_order_relaxed) > 0) {
+          best = std::max(best,
+                          sink->gauge[i].load(std::memory_order_relaxed));
+        }
+        row.count += sink->count[i].load(std::memory_order_relaxed);
+      }
+      row.value = best;
+    } else {
+      row.count = r.retired_count[i];
+      row.total_ns = r.retired_ns[i];
+      for (const ThreadSink* sink : r.live) {
+        row.count += sink->count[i].load(std::memory_order_relaxed);
+        row.total_ns += sink->total_ns[i].load(std::memory_order_relaxed);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.retired_count.fill(0);
+  r.retired_ns.fill(0);
+  r.retired_gauge.fill(0.0);
+  r.retired_gauge_sets.fill(0);
+  for (ThreadSink* sink : r.live) {
+    for (std::size_t i = 0; i < kMaxMetrics; ++i) {
+      sink->count[i].store(0, std::memory_order_relaxed);
+      sink->total_ns[i].store(0, std::memory_order_relaxed);
+      sink->gauge[i].store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace nocmap::obs
+
+#endif  // NOCMAP_OBS_ENABLED

@@ -1,0 +1,67 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace nocmap::obs {
+
+RunReport::RunReport(const std::string& binary) {
+  root_["schema"] = kRunReportSchema;
+  set_binary(binary);
+}
+
+void RunReport::set_binary(const std::string& binary) {
+  binary_ = binary;
+  root_["binary"] = binary;
+}
+
+void RunReport::set(const std::string& dotted_path, JsonValue value) {
+  root_.at_path(dotted_path) = std::move(value);
+}
+
+void RunReport::note_artifact(const std::string& path) {
+  root_["artifacts"].push_back(JsonValue(path));
+}
+
+void RunReport::attach_metrics() {
+  JsonValue counters = JsonValue::object();
+  JsonValue timers = JsonValue::object();
+  JsonValue gauges = JsonValue::object();
+  for (const MetricRow& row : snapshot()) {
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        counters[row.name] = JsonValue(row.count);
+        break;
+      case MetricKind::kTimer: {
+        JsonValue entry = JsonValue::object();
+        entry["count"] = JsonValue(row.count);
+        entry["total_ms"] =
+            JsonValue(static_cast<double>(row.total_ns) / 1e6);
+        timers[row.name] = std::move(entry);
+        break;
+      }
+      case MetricKind::kGauge:
+        gauges[row.name] = JsonValue(row.value);
+        break;
+    }
+  }
+  root_["counters"] = std::move(counters);
+  root_["timers"] = std::move(timers);
+  root_["gauges"] = std::move(gauges);
+}
+
+bool RunReport::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+RunReport& RunReport::global() {
+  static RunReport* report = new RunReport();
+  return *report;
+}
+
+}  // namespace nocmap::obs

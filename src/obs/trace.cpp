@@ -1,0 +1,201 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace nocmap::obs {
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;  // steady-clock reading
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+
+  bool operator<(const TraceEvent& o) const {
+    if (start_ns != o.start_ns) return start_ns < o.start_ns;
+    if (tid != o.tid) return tid < o.tid;
+    return name < o.name;
+  }
+};
+
+/// Per-thread buffer. The mutex is uncontended in steady state (only the
+/// owner appends); export and clear lock each buffer briefly.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> origin_ns{0};  // ts reference, set on enable
+  std::mutex mu;                            // guards the buffer lists
+  std::vector<ThreadBuffer*> live;
+  std::vector<TraceEvent> retired;  // events of exited threads
+  std::uint32_t next_tid = 1;
+  std::string env_path;  // from NOCMAP_TRACE
+};
+
+/// Leaked singleton — safe to touch from thread-local destructors at exit.
+TraceState& state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+struct BufferHandle {
+  ThreadBuffer* buf;
+
+  BufferHandle() : buf(new ThreadBuffer()) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    buf->tid = s.next_tid++;
+    s.live.push_back(buf);
+  }
+
+  ~BufferHandle() {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      s.retired.insert(s.retired.end(), buf->events.begin(),
+                       buf->events.end());
+    }
+    s.live.erase(std::find(s.live.begin(), s.live.end(), buf));
+    delete buf;
+  }
+};
+
+ThreadBuffer& tls_buffer() {
+  thread_local BufferHandle handle;
+  return *handle.buf;
+}
+
+std::uint64_t steady_now_ns();
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void enable_tracing() {
+  TraceState& s = state();
+  std::uint64_t expected = 0;
+  s.origin_ns.compare_exchange_strong(expected, steady_now_ns(),
+                                      std::memory_order_relaxed);
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_tracing() noexcept {
+  state().enabled.store(false, std::memory_order_relaxed);
+}
+
+void trace_emit(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns) {
+  if (!tracing_enabled()) return;
+  ThreadBuffer& buf = tls_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(TraceEvent{name, start_ns, dur_ns, buf.tid});
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = s.retired.size();
+  for (ThreadBuffer* buf : s.live) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  TraceState& s = state();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    events = s.retired;
+    for (ThreadBuffer* buf : s.live) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      events.insert(events.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end());
+
+  const std::uint64_t origin = s.origin_ns.load(std::memory_order_relaxed);
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const std::uint64_t rel =
+        e.start_ns > origin ? e.start_ns - origin : 0;
+    os << (i == 0 ? "\n" : ",\n")
+       << "    {\"name\": \"" << JsonValue::escape(e.name)
+       << "\", \"cat\": \"nocmap\", \"ph\": \"X\""
+       << ", \"ts\": " << static_cast<double>(rel) / 1e3
+       << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3
+       << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+  }
+  os << (events.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+bool save_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return true;
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.retired.clear();
+  for (ThreadBuffer* buf : s.live) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+void init_tracing_from_env() {
+  const char* env = std::getenv("NOCMAP_TRACE");
+  if (env == nullptr || *env == '\0') return;
+  TraceState& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.env_path = env;
+  }
+  enable_tracing();
+}
+
+bool flush_trace_to_env_path() {
+  TraceState& s = state();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    path = s.env_path;
+  }
+  if (path.empty()) return false;
+  return save_chrome_trace(path);
+}
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+}  // namespace nocmap::obs

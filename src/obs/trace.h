@@ -1,0 +1,65 @@
+// Scoped-event tracing with a chrome://tracing-compatible JSON exporter.
+//
+// Tracing is off by default and costs one relaxed atomic load per
+// ScopedTimer when off. When enabled, completed spans are appended to
+// per-thread buffers (each guarded by its own uncontended mutex, so workers
+// never serialize against each other) and exported on demand as the Trace
+// Event Format consumed by chrome://tracing, Perfetto and speedscope:
+//
+//   { "traceEvents": [ {"name": "sss.swap", "cat": "nocmap", "ph": "X",
+//                       "ts": 12.3, "dur": 45.6, "pid": 1, "tid": 2}, ... ] }
+//
+// Timestamps are microseconds relative to the enable_tracing() call; export
+// merges every thread's buffer and sorts events by (ts, tid, name), so the
+// serialized order is deterministic for a fixed event set.
+//
+// Bench binaries activate tracing with the NOCMAP_TRACE=<path> environment
+// variable (init_tracing_from_env() at startup, flush_trace_to_env_path()
+// at exit — wired in bench_common's print_header/report flush).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace nocmap::obs {
+
+/// True when spans should be recorded (one relaxed atomic load).
+bool tracing_enabled() noexcept;
+
+/// Starts collecting; records the timestamp origin on first enable.
+void enable_tracing();
+
+/// Stops collecting (already-recorded events are kept until clear_trace).
+void disable_tracing() noexcept;
+
+/// Appends one complete ("X") event. `start_ns` is a steady-clock reading
+/// (std::chrono::steady_clock time_since_epoch); events recorded before the
+/// enable origin are clamped to ts = 0. No-op while tracing is disabled.
+/// Public so tests and manual phase markers can emit events directly;
+/// ScopedTimer emits through this.
+void trace_emit(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns);
+
+/// Number of buffered events (live + retired threads).
+std::size_t trace_event_count();
+
+/// Writes the merged, deterministically ordered chrome://tracing document.
+void write_chrome_trace(std::ostream& os);
+
+/// write_chrome_trace to a file; false (with no side effects beyond an
+/// attempted open) when the file cannot be created.
+bool save_chrome_trace(const std::string& path);
+
+/// Drops every buffered event (tracing enable state is unchanged).
+void clear_trace();
+
+/// Reads NOCMAP_TRACE; when set and non-empty, enables tracing and
+/// remembers the path for flush_trace_to_env_path().
+void init_tracing_from_env();
+
+/// Saves to the path captured by init_tracing_from_env(). Returns false
+/// when no path was configured.
+bool flush_trace_to_env_path();
+
+}  // namespace nocmap::obs

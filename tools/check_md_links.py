@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repo's Markdown docs.
+
+Scans every *.md file (build directories and .git excluded) for inline
+Markdown links/images [text](target) and fails when a relative target does
+not exist on disk. External schemes (http/https/mailto) and pure #anchors
+are skipped; "path#fragment" targets are checked against the path part only.
+
+Usage:
+    python3 tools/check_md_links.py [root]
+
+Exits 0 when every relative link resolves, 1 otherwise (listing each dead
+link as file:line: target).
+"""
+
+import os
+import re
+import sys
+
+_SKIP_DIRS = {".git", ".github", "node_modules"}
+_SKIP_DIR_PREFIXES = ("build",)
+
+# Inline links/images: [text](target "optional title"). Reference-style and
+# autolinks are rare in this repo and intentionally out of scope.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in _SKIP_DIRS and not d.startswith(_SKIP_DIR_PREFIXES)
+        ]
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(md_path, root):
+    """Returns [(line_number, target)] dead links in one file."""
+    dead = []
+    base = os.path.dirname(md_path)
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in _LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                if path.startswith("/"):
+                    resolved = os.path.join(root, path.lstrip("/"))
+                else:
+                    resolved = os.path.join(base, path)
+                if not os.path.exists(resolved):
+                    dead.append((lineno, target))
+    return dead
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    files = 0
+    failures = []
+    for md_path in iter_markdown_files(root):
+        files += 1
+        for lineno, target in check_file(md_path, root):
+            failures.append(f"{os.path.relpath(md_path, root)}:{lineno}: "
+                            f"{target}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} dead relative link(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: all relative Markdown links in {files} file(s) resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
