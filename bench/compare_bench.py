@@ -7,6 +7,13 @@ tolerance (default 20%). Lower is better for every compared metric; derived
 ratio fields (e.g. warm_speedup_vs_legacy) are reported but never gate,
 since they are redundant with the timings they are computed from.
 
+Mismatched metric sets are reported explicitly rather than crashing or
+passing silently: metrics present in the baseline but missing from the
+current run ("removed") fail the gate — a vanished metric usually means a
+renamed field or a silently skipped benchmark case — while metrics only in
+the current run ("added") are informational, so a new benchmark case can
+land before its baseline is regenerated.
+
 Usage:
     python3 bench/compare_bench.py \
         --baseline BENCH_assignment.json \
@@ -51,6 +58,61 @@ def collect_metrics(node, path="", out=None):
     return out
 
 
+def compare(baseline, current, tolerance, out=sys.stdout):
+    """Compares two flattened metric dicts; returns the process exit code.
+
+    Gate failures: a common metric slower than baseline * (1 + tolerance),
+    or a baseline metric absent from the current run. Metrics new in the
+    current run are listed but never fail the gate.
+    """
+    if not baseline:
+        print("error: no timing metrics found in the baseline", file=out)
+        return 2
+
+    removed = sorted(k for k in baseline if k not in current)
+    added = sorted(k for k in current if k not in baseline)
+    common = sorted(k for k in baseline if k in current)
+
+    regressions = []
+    width = max(len(k) for k in baseline)
+    for key in common:
+        old, new = baseline[key], current[key]
+        ratio = new / old if old > 0 else float("inf")
+        flag = ""
+        if new > old * (1.0 + tolerance):
+            regressions.append((key, old, new))
+            flag = "  REGRESSED"
+        print(f"{key:<{width}}  {old:>12.1f}  ->  {new:>12.1f}"
+              f"  ({ratio:5.2f}x){flag}", file=out)
+    for key in removed:
+        print(f"{key:<{width}}  {baseline[key]:>12.1f}  ->  REMOVED",
+              file=out)
+    if added:
+        print(f"\nnote: {len(added)} metric(s) only in the current run "
+              "(no baseline yet, not gated):", file=out)
+        for key in added:
+            print(f"  {key}: {current[key]:.1f}", file=out)
+
+    if regressions or removed:
+        print(f"\nFAIL:", file=out)
+        if regressions:
+            print(f"  {len(regressions)} metric(s) regressed beyond "
+                  f"{tolerance:.0%} of the committed baseline:", file=out)
+            for key, old, new in regressions:
+                delta = 100.0 * (new - old) / old if old > 0 else float("inf")
+                print(f"    {key}: baseline {old:.1f}, measured {new:.1f}, "
+                      f"{delta:+.1f}%", file=out)
+        if removed:
+            print(f"  {len(removed)} baseline metric(s) missing from the "
+                  "current run (renamed field or skipped case?):", file=out)
+            for key in removed:
+                print(f"    {key}", file=out)
+        return 1
+    print(f"\nOK: all {len(common)} common metrics within {tolerance:.0%} "
+          "of the committed baseline.", file=out)
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -66,40 +128,7 @@ def main():
     with open(args.current, encoding="utf-8") as f:
         current = collect_metrics(json.load(f))
 
-    if not baseline:
-        print(f"error: no timing metrics found in {args.baseline}")
-        return 2
-
-    regressions = []
-    width = max(len(k) for k in baseline)
-    for key, old in sorted(baseline.items()):
-        new = current.get(key)
-        if new is None:
-            regressions.append((key, old, None))
-            print(f"{key:<{width}}  {old:>12.1f}  ->  MISSING")
-            continue
-        ratio = new / old if old > 0 else float("inf")
-        flag = ""
-        if new > old * (1.0 + args.tolerance):
-            regressions.append((key, old, new))
-            flag = "  REGRESSED"
-        print(f"{key:<{width}}  {old:>12.1f}  ->  {new:>12.1f}"
-              f"  ({ratio:5.2f}x){flag}")
-
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
-              f"{args.tolerance:.0%} of the committed baseline:")
-        for key, old, new in regressions:
-            if new is None:
-                print(f"  {key}: baseline {old:.1f}, measured MISSING")
-            else:
-                delta = 100.0 * (new - old) / old if old > 0 else float("inf")
-                print(f"  {key}: baseline {old:.1f}, measured {new:.1f}, "
-                      f"{delta:+.1f}%")
-        return 1
-    print(f"\nOK: all {len(baseline)} metrics within {args.tolerance:.0%} "
-          "of the committed baseline.")
-    return 0
+    return compare(baseline, current, args.tolerance)
 
 
 if __name__ == "__main__":

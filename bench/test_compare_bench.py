@@ -1,0 +1,82 @@
+"""Tests for the compare_bench.py perf gate (run with pytest or unittest).
+
+Covers the metric flattening and every gate outcome — pass, timing
+regression, removed-metric failure, added-metric tolerance — including the
+mismatched-metric-set case that used to crash the script.
+"""
+
+import io
+import unittest
+
+import compare_bench
+
+
+def run_compare(baseline, current, tolerance=0.20):
+    out = io.StringIO()
+    code = compare_bench.compare(baseline, current, tolerance, out=out)
+    return code, out.getvalue()
+
+
+class CollectMetricsTest(unittest.TestCase):
+    def test_flattens_labeled_records(self):
+        doc = {"results": [{"n": 16, "solve_ms": 1.5, "iterations": 3}]}
+        self.assertEqual(compare_bench.collect_metrics(doc),
+                         {"n=16.solve_ms": 1.5})
+
+    def test_ignores_non_timing_leaves(self):
+        doc = {"mapper": "global", "g_apl": 3.2, "map_ms": 2.0}
+        self.assertEqual(compare_bench.collect_metrics(doc),
+                         {"mapper=global.map_ms": 2.0})
+
+    def test_nested_lists_get_index_paths(self):
+        doc = [{"solve_ms": 1.0}, {"solve_ms": 2.0}]
+        self.assertEqual(compare_bench.collect_metrics(doc),
+                         {"[0].solve_ms": 1.0, "[1].solve_ms": 2.0})
+
+
+class CompareTest(unittest.TestCase):
+    def test_within_tolerance_passes(self):
+        code, out = run_compare({"a.x_ms": 10.0}, {"a.x_ms": 11.0})
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_regression_fails(self):
+        code, out = run_compare({"a.x_ms": 10.0}, {"a.x_ms": 13.0})
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_faster_is_never_flagged(self):
+        code, _ = run_compare({"a.x_ms": 10.0}, {"a.x_ms": 1.0})
+        self.assertEqual(code, 0)
+
+    def test_removed_metric_fails_gate(self):
+        code, out = run_compare({"a.x_ms": 10.0, "b.y_ms": 5.0},
+                                {"a.x_ms": 10.0})
+        self.assertEqual(code, 1)
+        self.assertIn("REMOVED", out)
+        self.assertIn("b.y_ms", out)
+
+    def test_added_metric_is_informational(self):
+        code, out = run_compare({"a.x_ms": 10.0},
+                                {"a.x_ms": 10.0, "new.z_ms": 7.0})
+        self.assertEqual(code, 0)
+        self.assertIn("new.z_ms", out)
+        self.assertIn("not gated", out)
+
+    def test_fully_disjoint_sets_do_not_crash(self):
+        code, out = run_compare({"a.x_ms": 10.0}, {"b.y_ms": 5.0})
+        self.assertEqual(code, 1)
+        self.assertIn("a.x_ms", out)
+        self.assertIn("b.y_ms", out)
+
+    def test_empty_baseline_is_usage_error(self):
+        code, _ = run_compare({}, {"a.x_ms": 1.0})
+        self.assertEqual(code, 2)
+
+    def test_zero_baseline_value_does_not_divide_by_zero(self):
+        code, _ = run_compare({"a.x_ms": 0.0}, {"a.x_ms": 1.0})
+        self.assertEqual(code, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

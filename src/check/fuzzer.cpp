@@ -1,0 +1,155 @@
+#include "check/fuzzer.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nocmap::check {
+
+namespace {
+
+// Fuzz statistics (docs/metrics-schema.md "check.*"): totals over the
+// process, surfaced through RunReports by write_report().
+const obs::Counter c_scenarios("check.scenarios");
+const obs::Counter c_checks("check.oracle_checks");
+const obs::Counter c_failures("check.failures");
+const obs::Counter c_shrink_attempts("check.shrink_attempts");
+const obs::Timer t_fuzz("check.fuzz");
+
+/// Resolves option names to oracle pointers (all oracles when empty).
+std::vector<const Oracle*> resolve_oracles(
+    const std::vector<std::string>& names) {
+  std::vector<const Oracle*> oracles;
+  if (names.empty()) {
+    for (const Oracle& oracle : all_oracles()) oracles.push_back(&oracle);
+    return oracles;
+  }
+  for (const std::string& name : names) {
+    const Oracle* oracle = find_oracle(name);
+    NOCMAP_REQUIRE(oracle != nullptr, "unknown oracle '" + name + "'");
+    oracles.push_back(oracle);
+  }
+  return oracles;
+}
+
+std::string repro_filename(const FuzzFailure& failure) {
+  std::ostringstream os;
+  os << "repro-" << failure.oracle << "-seed" << failure.original.seed
+     << ".scenario";
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t iteration_seed(std::uint64_t base, std::size_t i) {
+  // splitmix64 decorrelates consecutive bases, so overlapping runs
+  // (seed=1, seed=2, ...) explore disjoint scenario streams.
+  return splitmix64(base + 0x9e3779b97f4a7c15ULL * (i + 1));
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  const obs::ScopedTimer scope(t_fuzz);
+  const std::vector<const Oracle*> oracles = resolve_oracles(options.oracles);
+
+  FuzzReport report;
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    const ScenarioSpec spec =
+        generate_scenario(iteration_seed(options.seed, i));
+    ++report.scenarios;
+    c_scenarios.add();
+
+    for (const Oracle* oracle : oracles) {
+      if (!oracle->applicable(spec)) continue;
+      ++report.oracle_checks;
+      c_checks.add();
+      const OracleResult outcome = oracle->run(spec);
+      if (outcome.ok) continue;
+
+      c_failures.add();
+      FuzzFailure failure;
+      failure.original = spec;
+      failure.minimal = spec;
+      failure.oracle = oracle->name;
+      failure.detail = outcome.detail;
+      if (options.shrink) {
+        const ShrinkResult shrunk = shrink_scenario(spec, *oracle);
+        failure.minimal = shrunk.minimal;
+        failure.shrink_attempts = shrunk.attempts;
+        c_shrink_attempts.add(shrunk.attempts);
+        // Report the minimized failure message — it names the smallest
+        // reproducing configuration, which is what gets debugged.
+        const OracleResult minimal_outcome = oracle->run(failure.minimal);
+        if (!minimal_outcome.ok) failure.detail = minimal_outcome.detail;
+      }
+      if (!options.repro_dir.empty()) {
+        std::filesystem::create_directories(options.repro_dir);
+        const std::filesystem::path path =
+            std::filesystem::path(options.repro_dir) /
+            repro_filename(failure);
+        save_repro(path.string(), failure.minimal, failure.oracle);
+        failure.repro_path = path.string();
+      }
+      report.failures.push_back(std::move(failure));
+      if (options.max_failures != 0 &&
+          report.failures.size() >= options.max_failures) {
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+ReplayResult replay_repro(const std::string& path) {
+  std::string recorded;
+  const ScenarioSpec spec = load_repro(path, &recorded);
+
+  std::vector<const Oracle*> oracles;
+  if (!recorded.empty()) {
+    const Oracle* oracle = find_oracle(recorded);
+    NOCMAP_REQUIRE(oracle != nullptr,
+                   "repro names unknown oracle '" + recorded + "'");
+    oracles.push_back(oracle);
+  } else {
+    for (const Oracle& oracle : all_oracles()) oracles.push_back(&oracle);
+  }
+
+  ReplayResult result;
+  for (const Oracle* oracle : oracles) {
+    if (!oracle->applicable(spec)) continue;
+    c_checks.add();
+    const OracleResult outcome = oracle->run(spec);
+    if (!outcome.ok) {
+      result.ok = false;
+      result.oracle = oracle->name;
+      result.detail = outcome.detail;
+      return result;
+    }
+  }
+  return result;
+}
+
+void write_report(const FuzzOptions& options, const FuzzReport& report,
+                  obs::RunReport& out) {
+  out.set("fuzz.seed", std::uint64_t{options.seed});
+  out.set("fuzz.iterations", std::uint64_t{options.iterations});
+  out.set("fuzz.scenarios", std::uint64_t{report.scenarios});
+  out.set("fuzz.oracle_checks", std::uint64_t{report.oracle_checks});
+  out.set("fuzz.failures", std::uint64_t{report.failures.size()});
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const FuzzFailure& failure = report.failures[i];
+    const std::string prefix = "fuzz.failure_" + std::to_string(i);
+    out.set(prefix + ".oracle", failure.oracle);
+    out.set(prefix + ".seed", std::uint64_t{failure.original.seed});
+    out.set(prefix + ".detail", failure.detail);
+    if (!failure.repro_path.empty()) {
+      out.set(prefix + ".repro", failure.repro_path);
+      out.note_artifact(failure.repro_path);
+    }
+  }
+  out.attach_metrics();
+}
+
+}  // namespace nocmap::check

@@ -1,0 +1,76 @@
+// Seeded property-based differential fuzzing driver (DESIGN.md §10).
+//
+// run_fuzz() walks a deterministic seed sequence derived from one base
+// seed, synthesizes a scenario per iteration, runs every applicable oracle,
+// and on the first failure minimizes the scenario with the shrinker and
+// writes a self-contained repro file that `nocmap_fuzz --replay` (or
+// replay_repro()) re-executes. Fuzz statistics are published through the
+// observability counters (check.* in docs/metrics-schema.md) and can be
+// folded into a RunReport via write_report().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+#include "check/scenario.h"
+#include "check/shrink.h"
+#include "obs/run_report.h"
+
+namespace nocmap::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 100;
+  /// Directory minimized repro files are written into (created on demand);
+  /// empty disables repro writing.
+  std::string repro_dir = ".";
+  /// Restrict to these oracle names; empty means all registered oracles.
+  std::vector<std::string> oracles;
+  /// Minimize failures before reporting them.
+  bool shrink = true;
+  /// Stop after this many failing scenarios (0 = never stop early).
+  std::size_t max_failures = 1;
+};
+
+struct FuzzFailure {
+  ScenarioSpec original;
+  ScenarioSpec minimal;  ///< == original when shrinking is disabled
+  std::string oracle;
+  std::string detail;      ///< the oracle's failure message
+  std::string repro_path;  ///< "" when repro writing is disabled
+  std::size_t shrink_attempts = 0;
+};
+
+struct FuzzReport {
+  std::size_t scenarios = 0;      ///< scenarios generated and checked
+  std::size_t oracle_checks = 0;  ///< individual oracle executions
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// The seed of fuzz iteration `i` under base seed `base` (exposed so tests
+/// and repro tooling can reconstruct any iteration independently).
+std::uint64_t iteration_seed(std::uint64_t base, std::size_t i);
+
+/// Runs the fuzz loop. Throws nocmap::Error on invalid options (e.g. an
+/// unknown oracle name); oracle failures are reported, not thrown.
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+struct ReplayResult {
+  bool ok = true;
+  std::string oracle;  ///< first failing oracle, when not ok
+  std::string detail;
+};
+
+/// Re-executes a repro file: the recorded oracle when one is present (and
+/// still applicable), every applicable oracle otherwise.
+ReplayResult replay_repro(const std::string& path);
+
+/// Folds fuzz outcome + the check.* metric snapshot into a RunReport.
+void write_report(const FuzzOptions& options, const FuzzReport& report,
+                  obs::RunReport& out);
+
+}  // namespace nocmap::check

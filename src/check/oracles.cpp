@@ -1,0 +1,383 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "assign/hungarian.h"
+#include "core/annealing_mapper.h"
+#include "core/cost_cache.h"
+#include "core/evaluator.h"
+#include "core/exact_solver.h"
+#include "core/genetic_mapper.h"
+#include "core/global_mapper.h"
+#include "core/metrics.h"
+#include "core/monte_carlo_mapper.h"
+#include "core/random_mapper.h"
+#include "core/sss_mapper.h"
+#include "netsim/sim.h"
+#include "util/rng.h"
+
+namespace nocmap::check {
+
+namespace {
+
+/// Relative closeness for quantities that are the same computation run
+/// through two code paths (FP association may differ, true disagreement is
+/// orders of magnitude larger).
+bool rel_close(double a, double b, double rel = 1e-9) {
+  return std::abs(a - b) <= rel * std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+OracleResult fail(std::string detail) { return {false, std::move(detail)}; }
+
+/// The mapper roster the differential oracles cross-check. Budgets are
+/// deliberately small — fuzzing wants many scenarios over polished
+/// solutions — and all seeds derive from the scenario seed so a spec fully
+/// determines every mapper's output. Serial execution keeps oracle runs
+/// cheap under sanitizers (the engine is thread-count-invariant anyway).
+std::vector<std::unique_ptr<Mapper>> scenario_mappers(
+    const ScenarioSpec& spec) {
+  std::vector<std::unique_ptr<Mapper>> mappers;
+  mappers.push_back(std::make_unique<GlobalMapper>());
+  mappers.push_back(std::make_unique<MonteCarloMapper>(
+      256, spec.seed ^ 0x4d43ULL, ParallelConfig::serial_config()));
+  AnnealingParams sa;
+  sa.iterations = 4000;
+  sa.seed = spec.seed ^ 0x5341ULL;
+  sa.parallel = ParallelConfig::serial_config();
+  mappers.push_back(std::make_unique<AnnealingMapper>(sa));
+  SssOptions sss;
+  sss.parallel = ParallelConfig::serial_config();
+  mappers.push_back(std::make_unique<SortSelectSwapMapper>(sss));
+  GeneticParams ga;
+  ga.population = 24;
+  ga.generations = 40;
+  ga.seed = spec.seed ^ 0x4741ULL;
+  ga.parallel = ParallelConfig::serial_config();
+  mappers.push_back(std::make_unique<GeneticMapper>(ga));
+  return mappers;
+}
+
+bool always(const ScenarioSpec&) { return true; }
+
+// ---------------------------------------------------------------------------
+// mapper_sanity
+
+OracleResult run_mapper_sanity(const ScenarioSpec& spec) {
+  const ObmProblem problem = build_problem(spec);
+
+  // Cost-cache coherence: the memoized matrix must equal eq. 13 recomputed
+  // from the raw model. This is the oracle the mutation canary trips.
+  const ThreadCostCache cache(problem.workload(), problem.model());
+  const TileLatencyModel& model = problem.model();
+  for (std::size_t j = 0; j < problem.num_threads(); ++j) {
+    const ThreadProfile& t = problem.workload().thread(j);
+    for (TileId k = 0; k < problem.num_tiles(); ++k) {
+      const double expected =
+          t.cache_rate * model.tc(k) + t.memory_rate * model.tm(k);
+      if (!rel_close(cache.cost(j, k), expected, 1e-12)) {
+        std::ostringstream os;
+        os << "cost cache incoherent at thread " << j << " tile " << k
+           << ": cached " << cache.cost(j, k) << " vs model " << expected;
+        return fail(os.str());
+      }
+    }
+  }
+
+  for (const auto& mapper : scenario_mappers(spec)) {
+    const Mapping mapping = mapper->map(problem);
+    if (!mapping.is_valid_permutation(problem.num_tiles())) {
+      return fail(mapper->name() + " returned an invalid permutation");
+    }
+
+    // Incremental evaluator vs the batch metrics path.
+    MappingEvaluator eval(problem, mapping);
+    const LatencyReport report = evaluate(problem, mapping);
+    if (!rel_close(eval.max_apl(), report.max_apl)) {
+      std::ostringstream os;
+      os << mapper->name() << ": evaluator max-APL " << eval.max_apl()
+         << " != evaluate() max-APL " << report.max_apl;
+      return fail(os.str());
+    }
+    if (!rel_close(eval.g_apl(), report.g_apl)) {
+      std::ostringstream os;
+      os << mapper->name() << ": evaluator g-APL " << eval.g_apl()
+         << " != evaluate() g-APL " << report.g_apl;
+      return fail(os.str());
+    }
+  }
+
+  // Evaluator purity: after a storm of incremental swaps the live state
+  // must equal a from-scratch recomputation (the parallel engine's
+  // bit-identity contract rests on this).
+  MappingEvaluator eval(problem, problem.identity_mapping());
+  Rng rng(spec.seed, 0x73776170ULL);
+  const auto n = static_cast<std::uint32_t>(problem.num_threads());
+  for (int i = 0; i < 64; ++i) {
+    eval.swap_threads(rng.uniform_u32(n), rng.uniform_u32(n));
+  }
+  if (!rel_close(eval.max_apl(), eval.recomputed_max_apl())) {
+    std::ostringstream os;
+    os << "evaluator drifted after swap storm: incremental "
+       << eval.max_apl() << " vs recomputed " << eval.recomputed_max_apl();
+    return fail(os.str());
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// global_gapl
+
+OracleResult run_global_gapl(const ScenarioSpec& spec) {
+  const ObmProblem problem = build_problem(spec);
+  GlobalMapper global;
+  const double global_g = evaluate(problem, global.map(problem)).g_apl;
+  for (const auto& mapper : scenario_mappers(spec)) {
+    const double other_g = evaluate(problem, mapper->map(problem)).g_apl;
+    if (global_g > other_g * (1.0 + 1e-9)) {
+      std::ostringstream os;
+      os << "Global g-APL " << global_g << " exceeds " << mapper->name()
+         << " g-APL " << other_g
+         << " — Global's assignment solve is no longer optimal";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// exact_bound
+
+bool exact_applicable(const ScenarioSpec& spec) {
+  return spec.num_tiles() <= 16;  // branch-and-bound territory
+}
+
+OracleResult run_exact_bound(const ScenarioSpec& spec) {
+  const ObmProblem problem = build_problem(spec);
+  ExactSolverOptions options;
+  options.max_nodes = 2'000'000;
+  const ExactResult exact = solve_obm_exact(problem, options);
+  if (!exact.proven_optimal) return {};  // budget bound — nothing to assert
+  if (!exact.mapping.is_valid_permutation(problem.num_tiles())) {
+    return fail("exact solver returned an invalid permutation");
+  }
+  for (const auto& mapper : scenario_mappers(spec)) {
+    const double objective =
+        evaluate(problem, mapper->map(problem)).objective;
+    if (objective < exact.max_apl * (1.0 - 1e-9)) {
+      std::ostringstream os;
+      os << mapper->name() << " objective " << objective
+         << " beats the proven optimum " << exact.max_apl
+         << " — one of the two objective evaluations is wrong";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// hungarian
+
+OracleResult run_hungarian(const ScenarioSpec& spec) {
+  Rng rng(spec.seed, 0x68756e67ULL);
+  AssignmentWorkspace workspace;
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t n = 2 + rng.uniform_u32(7);  // 2..8 — n! reachable
+    CostMatrix cost(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        cost.at(r, c) = rng.uniform(0.0, 100.0);
+      }
+    }
+    const Assignment truth = solve_assignment_brute_force(cost);
+    const Assignment one_shot = solve_assignment(cost);
+
+    const double cold_cost = workspace.solve(CostView::of(cost)).total_cost;
+
+    // Prime the warm path on a perturbed sibling instance, then re-solve
+    // the original warm: carried potentials must not change the optimum.
+    CostMatrix perturbed = cost;
+    for (std::size_t r = 0; r < n; ++r) {
+      perturbed.at(r, rng.uniform_u32(static_cast<std::uint32_t>(n))) +=
+          rng.uniform(0.0, 5.0);
+    }
+    workspace.solve(CostView::of(perturbed));
+    const Assignment& warm = workspace.solve_warm(CostView::of(cost));
+
+    std::vector<bool> used(n, false);
+    for (const std::size_t col : warm.row_to_col) {
+      if (col >= n || used[col]) {
+        return fail("warm assignment is not a permutation");
+      }
+      used[col] = true;
+    }
+    for (const auto& [label, value] :
+         {std::pair<const char*, double>{"one-shot", one_shot.total_cost},
+          {"workspace-cold", cold_cost},
+          {"workspace-warm", warm.total_cost}}) {
+      if (!rel_close(value, truth.total_cost)) {
+        std::ostringstream os;
+        os << label << " assignment cost " << value
+           << " != brute-force optimum " << truth.total_cost << " (n=" << n
+           << ", round " << round << ")";
+        return fail(os.str());
+      }
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// netsim oracles
+
+bool netsim_applicable(const ScenarioSpec& spec) {
+  // The cycle-level simulator models meshes only; small sides keep a fuzz
+  // iteration in the tens of milliseconds.
+  return !spec.torus && spec.mesh_side <= 5;
+}
+
+OracleResult run_netsim_conservation(const ScenarioSpec& spec) {
+  const ObmProblem problem = build_problem(spec);
+  SimConfig config;
+  config.warmup_cycles = 0;  // counters then cover the whole run
+  config.measure_cycles = 4000;
+  config.traffic.seed = spec.seed;
+  config.traffic.injection_scale = std::min(spec.injection_scale, 0.9);
+  config.traffic.bursty = spec.bursty;
+  const SimResult sim =
+      run_simulation(problem, problem.identity_mapping(), config);
+
+  if (sim.drain_incomplete) {
+    return fail("drain phase hit its cap with packets still in flight");
+  }
+  if (sim.flits_injected != sim.flits_ejected) {
+    std::ostringstream os;
+    os << "flit conservation violated: injected " << sim.flits_injected
+       << " != ejected " << sim.flits_ejected;
+    return fail(os.str());
+  }
+  const ActivityCounters& total = sim.activity_with_drain;
+  if (total.crossbar_traversals !=
+      total.link_traversals + sim.flits_ejected) {
+    std::ostringstream os;
+    os << "crossbar identity violated: " << total.crossbar_traversals
+       << " traversals != " << total.link_traversals << " link hops + "
+       << sim.flits_ejected << " ejections";
+    return fail(os.str());
+  }
+  if (total.buffer_writes != sim.flits_injected + total.link_traversals) {
+    std::ostringstream os;
+    os << "buffer-write identity violated: " << total.buffer_writes
+       << " writes != " << sim.flits_injected << " injections + "
+       << total.link_traversals << " link hops";
+    return fail(os.str());
+  }
+  if (total.buffer_reads != total.buffer_writes) {
+    std::ostringstream os;
+    os << "flits left buffered after drain: " << total.buffer_writes
+       << " writes vs " << total.buffer_reads << " reads";
+    return fail(os.str());
+  }
+
+  // RouterLoadSummary vs the raw per-router counters it summarizes.
+  const double cycles = static_cast<double>(sim.measured_cycles);
+  const double tiles = static_cast<double>(problem.num_tiles());
+  const double summed_crossbar =
+      sim.load.mean_crossbar_per_cycle * tiles * cycles;
+  if (!rel_close(summed_crossbar,
+                 static_cast<double>(sim.activity.crossbar_traversals),
+                 1e-6)) {
+    std::ostringstream os;
+    os << "RouterLoadSummary mean crossbar (" << summed_crossbar
+       << " summed) disagrees with activity counters ("
+       << sim.activity.crossbar_traversals << ")";
+    return fail(os.str());
+  }
+  if (sim.load.max_crossbar_per_cycle + 1e-12 <
+      sim.load.mean_crossbar_per_cycle) {
+    return fail("per-router max crossbar rate below the mean");
+  }
+  const Mesh& mesh = problem.mesh();
+  const double links = 2.0 * (mesh.rows() * (mesh.cols() - 1) +
+                              mesh.cols() * (mesh.rows() - 1));
+  const double expected_util =
+      static_cast<double>(sim.activity.link_traversals) / (links * cycles);
+  if (!rel_close(sim.load.link_utilization, expected_util) ||
+      sim.load.link_utilization < 0.0 ||
+      sim.load.link_utilization > 1.0 + 1e-12) {
+    std::ostringstream os;
+    os << "link utilization " << sim.load.link_utilization
+       << " inconsistent with counters (expected " << expected_util << ")";
+    return fail(os.str());
+  }
+  return {};
+}
+
+OracleResult run_netsim_rank(const ScenarioSpec& spec) {
+  const ObmProblem problem = build_problem(spec);
+  GlobalMapper global;
+  RandomMapper random(spec.seed ^ 0x726e64ULL);
+  const Mapping good = global.map(problem);
+  const Mapping bad = random.map(problem);
+
+  const double analytic_good = evaluate(problem, good).g_apl;
+  const double analytic_bad = evaluate(problem, bad).g_apl;
+  // Only assert rank when the analytic model predicts a decisive gap —
+  // Global is *optimal* on analytic g-APL, so ordering is guaranteed there;
+  // small gaps may legitimately invert under queuing effects.
+  if (analytic_bad <= analytic_good * 1.20) return {};
+
+  SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 12000;
+  config.traffic.seed = spec.seed;  // paired traffic for both mappings
+  config.traffic.injection_scale = std::min(spec.injection_scale, 0.9);
+  config.traffic.bursty = spec.bursty;
+  const SimResult sim_good = run_simulation(problem, good, config);
+  const SimResult sim_bad = run_simulation(problem, bad, config);
+  if (sim_bad.g_apl < sim_good.g_apl * 0.95) {
+    std::ostringstream os;
+    os << "measured rank disagrees with the analytic model: analytic g-APL "
+       << analytic_good << " (Global) vs " << analytic_bad
+       << " (random), measured " << sim_good.g_apl << " vs " << sim_bad.g_apl;
+    return fail(os.str());
+  }
+  return {};
+}
+
+constexpr Oracle kOracles[] = {
+    {"mapper_sanity",
+     "permutation validity, cost-cache coherence, evaluator purity",
+     always, run_mapper_sanity},
+    {"global_gapl",
+     "Global's assignment-optimal g-APL lower-bounds every mapper",
+     always, run_global_gapl},
+    {"exact_bound",
+     "heuristic objectives upper-bound the branch-and-bound optimum",
+     exact_applicable, run_exact_bound},
+    {"hungarian",
+     "warm/cold/one-shot assignment solves match O(n!) brute force",
+     always, run_hungarian},
+    {"netsim_conservation",
+     "flit conservation and load-summary identities on the cycle-level sim",
+     netsim_applicable, run_netsim_conservation},
+    {"netsim_rank",
+     "measured g-APL ordering agrees with decisive analytic gaps",
+     netsim_applicable, run_netsim_rank},
+};
+
+}  // namespace
+
+std::span<const Oracle> all_oracles() { return kOracles; }
+
+const Oracle* find_oracle(std::string_view name) {
+  for (const Oracle& oracle : kOracles) {
+    if (name == oracle.name) return &oracle;
+  }
+  return nullptr;
+}
+
+}  // namespace nocmap::check

@@ -1,0 +1,65 @@
+// Differential and invariant oracles for the fuzzing subsystem
+// (DESIGN.md §10).
+//
+// Each oracle is a named, self-contained property check over one
+// ScenarioSpec: it rebuilds everything it needs from the spec, runs two or
+// more independent implementations of the same quantity against each other
+// (or an exact conservation identity), and reports the first violated
+// property with enough detail to debug. Oracles are pure functions of the
+// spec, so a failure replays bit-identically from a repro file.
+//
+// The registry:
+//   mapper_sanity        — permutation validity of every mapper; cost-cache
+//                          coherence vs the raw model (eq. 13); incremental
+//                          evaluator vs batch evaluate() vs from-scratch
+//                          recomputation after a swap storm.
+//   global_gapl          — Global solves min g-APL *optimally* (one linear
+//                          assignment), so its g-APL must lower-bound every
+//                          other mapper's.
+//   exact_bound          — on small instances (≤16 tiles) the heuristics'
+//                          objectives must upper-bound the branch-and-bound
+//                          optimum.
+//   hungarian            — warm-started and cold workspace solves and the
+//                          one-shot API must all match the O(n!) brute
+//                          force on random ≤8×8 cost matrices.
+//   netsim_conservation  — cycle-level invariants: complete drain, flit
+//                          conservation, crossbar/link/buffer identities,
+//                          and RouterLoadSummary consistency with the raw
+//                          per-router activity counters.
+//   netsim_rank          — when the analytic model says Global beats a
+//                          random mapping on g-APL by a wide margin, the
+//                          measured (cycle-level) g-APL must agree on the
+//                          ordering.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "check/scenario.h"
+
+namespace nocmap::check {
+
+struct OracleResult {
+  bool ok = true;
+  /// On failure: which property broke, with the disagreeing values.
+  std::string detail;
+};
+
+struct Oracle {
+  const char* name;
+  /// One-line description (--list-oracles, docs).
+  const char* what;
+  /// Whether the oracle can run on this spec (e.g. exact_bound needs a
+  /// small instance, the netsim oracles need a non-torus mesh).
+  bool (*applicable)(const ScenarioSpec& spec);
+  OracleResult (*run)(const ScenarioSpec& spec);
+};
+
+/// Every registered oracle, in a fixed documented order.
+std::span<const Oracle> all_oracles();
+
+/// Lookup by name; nullptr when unknown.
+const Oracle* find_oracle(std::string_view name);
+
+}  // namespace nocmap::check

@@ -1,0 +1,193 @@
+#include "check/scenario.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "latency/model.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workload/synthesis.h"
+
+namespace nocmap::check {
+
+namespace {
+
+constexpr std::uint32_t kMinSide = 3;
+constexpr std::uint32_t kMaxSide = 8;
+constexpr std::uint32_t kMaxApps = 4;
+
+const char* placement_name(McPlacement p) {
+  switch (p) {
+    case McPlacement::kCorners: return "corners";
+    case McPlacement::kEdgeMiddles: return "edge_middles";
+    case McPlacement::kDiamond: return "diamond";
+  }
+  return "corners";
+}
+
+McPlacement placement_from_name(const std::string& name) {
+  if (name == "corners") return McPlacement::kCorners;
+  if (name == "edge_middles") return McPlacement::kEdgeMiddles;
+  if (name == "diamond") return McPlacement::kDiamond;
+  NOCMAP_REQUIRE(false, "unknown mc_placement '" + name + "'");
+  return McPlacement::kCorners;
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t seed) {
+  // A fixed stream constant keeps scenario generation independent of every
+  // other Rng consumer seeded with the same value.
+  Rng rng(splitmix64(seed), 0x6e6f636d61702121ULL);
+
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.mesh_side = kMinSide + rng.uniform_u32(kMaxSide - kMinSide + 1);
+  spec.torus = rng.bernoulli(0.1);
+  if (spec.torus) {
+    // The torus constructor pins corner MCs; keep the spec consistent.
+    spec.mc_placement = McPlacement::kCorners;
+  } else {
+    const double p = rng.uniform();
+    spec.mc_placement = p < 0.6   ? McPlacement::kCorners
+                        : p < 0.8 ? McPlacement::kEdgeMiddles
+                                  : McPlacement::kDiamond;
+  }
+  spec.config = "C" + std::to_string(1 + rng.uniform_u32(8));
+
+  const std::uint32_t tiles = spec.num_tiles();
+  spec.num_applications =
+      1 + rng.uniform_u32(std::min(kMaxApps, tiles));
+  spec.threads_per_app = 1 + rng.uniform_u32(tiles / spec.num_applications);
+  spec.injection_scale = rng.uniform(0.3, 0.9);
+  spec.bursty = rng.bernoulli(0.2);
+
+  validate_scenario(spec);
+  return spec;
+}
+
+void validate_scenario(const ScenarioSpec& spec) {
+  NOCMAP_REQUIRE(spec.mesh_side >= 2 && spec.mesh_side <= 64,
+                 "mesh_side out of range");
+  NOCMAP_REQUIRE(spec.num_applications >= 1, "need at least one application");
+  NOCMAP_REQUIRE(spec.threads_per_app >= 1, "need at least one thread/app");
+  NOCMAP_REQUIRE(spec.num_threads() <= spec.num_tiles(),
+                 "more threads than tiles");
+  NOCMAP_REQUIRE(!spec.torus || spec.mc_placement == McPlacement::kCorners,
+                 "torus meshes pin corner MCs");
+  NOCMAP_REQUIRE(spec.injection_scale > 0.0 && spec.injection_scale <= 2.0,
+                 "injection_scale out of range");
+  parsec_config(spec.config);  // throws on unknown name
+}
+
+ObmProblem build_problem(const ScenarioSpec& spec) {
+  validate_scenario(spec);
+  const Mesh mesh =
+      spec.torus ? Mesh::square_torus(spec.mesh_side)
+                 : Mesh::square_with_placement(spec.mesh_side,
+                                               spec.mc_placement);
+  SynthesisOptions opt;
+  opt.num_applications = spec.num_applications;
+  opt.threads_per_app = spec.threads_per_app;
+  Workload workload =
+      synthesize_workload(parsec_config(spec.config), spec.seed, opt);
+  if (workload.num_threads() < mesh.num_tiles()) {
+    workload = workload.padded_to(mesh.num_tiles());
+  }
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    std::move(workload));
+}
+
+std::string to_repro(const ScenarioSpec& spec, const std::string& oracle) {
+  std::ostringstream os;
+  os << "# nocmap_fuzz repro v1\n"
+     << "seed=" << spec.seed << "\n"
+     << "mesh_side=" << spec.mesh_side << "\n"
+     << "mc_placement=" << placement_name(spec.mc_placement) << "\n"
+     << "torus=" << (spec.torus ? 1 : 0) << "\n"
+     << "config=" << spec.config << "\n"
+     << "num_applications=" << spec.num_applications << "\n"
+     << "threads_per_app=" << spec.threads_per_app << "\n"
+     << "injection_scale="
+     << std::setprecision(std::numeric_limits<double>::max_digits10)
+     << spec.injection_scale << "\n"
+     << "bursty=" << (spec.bursty ? 1 : 0) << "\n";
+  if (!oracle.empty()) os << "oracle=" << oracle << "\n";
+  return os.str();
+}
+
+ScenarioSpec from_repro(const std::string& text, std::string* oracle_out) {
+  ScenarioSpec spec;
+  std::string oracle;
+  std::map<std::string, bool> seen;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    NOCMAP_REQUIRE(eq != std::string::npos,
+                   "malformed repro line '" + line + "'");
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    NOCMAP_REQUIRE(!seen[key], "duplicate repro key '" + key + "'");
+    seen[key] = true;
+    try {
+      if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "mesh_side") {
+        spec.mesh_side = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "mc_placement") {
+        spec.mc_placement = placement_from_name(value);
+      } else if (key == "torus") {
+        spec.torus = std::stoi(value) != 0;
+      } else if (key == "config") {
+        spec.config = value;
+      } else if (key == "num_applications") {
+        spec.num_applications = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "threads_per_app") {
+        spec.threads_per_app = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "injection_scale") {
+        spec.injection_scale = std::stod(value);
+      } else if (key == "bursty") {
+        spec.bursty = std::stoi(value) != 0;
+      } else if (key == "oracle") {
+        oracle = value;
+      } else {
+        NOCMAP_REQUIRE(false, "unknown repro key '" + key + "'");
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      NOCMAP_REQUIRE(false, "bad value for repro key '" + key + "'");
+    }
+  }
+  for (const char* required :
+       {"seed", "mesh_side", "mc_placement", "torus", "config",
+        "num_applications", "threads_per_app", "injection_scale", "bursty"}) {
+    NOCMAP_REQUIRE(seen[required],
+                   std::string("repro missing key '") + required + "'");
+  }
+  validate_scenario(spec);
+  if (oracle_out != nullptr) *oracle_out = oracle;
+  return spec;
+}
+
+void save_repro(const std::string& path, const ScenarioSpec& spec,
+                const std::string& oracle) {
+  std::ofstream os(path);
+  NOCMAP_REQUIRE(os.good(), "cannot create repro file " + path);
+  os << to_repro(spec, oracle);
+}
+
+ScenarioSpec load_repro(const std::string& path, std::string* oracle_out) {
+  std::ifstream is(path);
+  NOCMAP_REQUIRE(is.good(), "cannot open repro file " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return from_repro(buffer.str(), oracle_out);
+}
+
+}  // namespace nocmap::check

@@ -1,0 +1,80 @@
+// Seeded scenario synthesis for the differential-fuzzing subsystem
+// (DESIGN.md §10).
+//
+// A ScenarioSpec is a small, fully explicit description of one randomized
+// OBM instance: chip geometry (mesh side, MC placement, optional torus
+// links), workload shape (Table-3 configuration, application count, threads
+// per application) and traffic knobs for the cycle-level oracles. Every
+// field is derived deterministically from a single 64-bit seed by
+// generate_scenario(), and the textual repro format round-trips the spec
+// exactly, so any failure found by the fuzzer is reproducible from either
+// the seed alone or the self-contained repro file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/problem.h"
+#include "topology/mesh.h"
+
+namespace nocmap::check {
+
+/// One synthesized fuzzing scenario. All fields are plain values so a spec
+/// can be serialized, mutated by the shrinker, and rebuilt into an
+/// ObmProblem at will.
+struct ScenarioSpec {
+  /// The seed the spec was generated from (kept for provenance; also seeds
+  /// workload synthesis and the traffic engine so the whole scenario is one
+  /// number).
+  std::uint64_t seed = 0;
+  std::uint32_t mesh_side = 4;
+  McPlacement mc_placement = McPlacement::kCorners;
+  bool torus = false;
+  /// Table-3 workload configuration name ("C1".."C8").
+  std::string config = "C1";
+  std::uint32_t num_applications = 2;
+  std::uint32_t threads_per_app = 4;
+  /// Netsim traffic knobs (only read by the cycle-level oracles).
+  double injection_scale = 0.5;
+  bool bursty = false;
+
+  std::uint32_t num_tiles() const { return mesh_side * mesh_side; }
+  std::uint32_t num_threads() const {
+    return num_applications * threads_per_app;
+  }
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Derives a complete, valid spec from one 64-bit seed. Pure function:
+/// identical seeds give identical specs on every platform and run.
+ScenarioSpec generate_scenario(std::uint64_t seed);
+
+/// Throws nocmap::Error when the spec violates a structural constraint
+/// (zero sizes, more threads than tiles, unknown config, ...).
+void validate_scenario(const ScenarioSpec& spec);
+
+/// Builds the OBM instance the spec describes: square mesh (or torus) with
+/// the named MC placement, a synthesized Table-3 workload, padded with idle
+/// threads up to the tile count as the paper prescribes.
+ObmProblem build_problem(const ScenarioSpec& spec);
+
+/// Self-contained textual repro ("# nocmap_fuzz repro v1" + key=value
+/// lines). `oracle` optionally records which oracle failed so --replay can
+/// re-run exactly that check first; empty means "run all applicable".
+std::string to_repro(const ScenarioSpec& spec, const std::string& oracle = "");
+
+/// Parses a repro produced by to_repro (unknown keys rejected, all spec
+/// keys required). On success `oracle_out`, when non-null, receives the
+/// recorded oracle name ("" if absent). Throws nocmap::Error on malformed
+/// input; the parsed spec is validated before being returned.
+ScenarioSpec from_repro(const std::string& text,
+                        std::string* oracle_out = nullptr);
+
+/// File-level conveniences over to_repro/from_repro.
+void save_repro(const std::string& path, const ScenarioSpec& spec,
+                const std::string& oracle = "");
+ScenarioSpec load_repro(const std::string& path,
+                        std::string* oracle_out = nullptr);
+
+}  // namespace nocmap::check

@@ -1,0 +1,95 @@
+#include "check/shrink.h"
+
+#include <functional>
+
+namespace nocmap::check {
+
+namespace {
+
+/// Smallest square side that can host the spec's threads.
+std::uint32_t min_side_for(const ScenarioSpec& spec) {
+  std::uint32_t side = 2;
+  while (side * side < spec.num_threads()) ++side;
+  return side;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const ScenarioSpec& spec, const Oracle& oracle) {
+  ShrinkResult result;
+  result.minimal = spec;
+
+  // A candidate replaces the current minimum iff it is still valid, the
+  // oracle still applies, and the oracle still fails.
+  auto still_fails = [&](const ScenarioSpec& candidate) {
+    try {
+      validate_scenario(candidate);
+    } catch (const Error&) {
+      return false;
+    }
+    if (!oracle.applicable(candidate)) return false;
+    ++result.attempts;
+    return !oracle.run(candidate).ok;
+  };
+  auto try_accept = [&](ScenarioSpec candidate) {
+    if (still_fails(candidate)) {
+      result.minimal = candidate;
+      ++result.accepted;
+      return true;
+    }
+    return false;
+  };
+
+  if (!still_fails(result.minimal)) return result;  // not failing: no-op
+
+  // Phase order per the subsystem contract: apps, then threads, then mesh.
+  // Each phase halves while it can, then steps by one to the floor.
+  auto descend = [&](const std::function<std::uint32_t(const ScenarioSpec&)>&
+                         get,
+                     const std::function<void(ScenarioSpec&, std::uint32_t)>&
+                         set,
+                     std::uint32_t floor) {
+    while (get(result.minimal) / 2 >= floor) {
+      ScenarioSpec candidate = result.minimal;
+      set(candidate, get(result.minimal) / 2);
+      if (!try_accept(candidate)) break;
+    }
+    while (get(result.minimal) > floor) {
+      ScenarioSpec candidate = result.minimal;
+      set(candidate, get(result.minimal) - 1);
+      if (!try_accept(candidate)) break;
+    }
+  };
+
+  descend([](const ScenarioSpec& s) { return s.num_applications; },
+          [](ScenarioSpec& s, std::uint32_t v) { s.num_applications = v; },
+          1);
+  descend([](const ScenarioSpec& s) { return s.threads_per_app; },
+          [](ScenarioSpec& s, std::uint32_t v) { s.threads_per_app = v; },
+          1);
+  descend([](const ScenarioSpec& s) { return s.mesh_side; },
+          [](ScenarioSpec& s, std::uint32_t v) { s.mesh_side = v; },
+          min_side_for(result.minimal));
+
+  // Normalization: drop incidental structure the failure does not need.
+  {
+    ScenarioSpec candidate = result.minimal;
+    candidate.torus = false;
+    candidate.mc_placement = McPlacement::kCorners;
+    if (candidate != result.minimal) try_accept(candidate);
+  }
+  {
+    ScenarioSpec candidate = result.minimal;
+    candidate.config = "C1";
+    if (candidate != result.minimal) try_accept(candidate);
+  }
+  {
+    ScenarioSpec candidate = result.minimal;
+    candidate.bursty = false;
+    candidate.injection_scale = 0.5;
+    if (candidate != result.minimal) try_accept(candidate);
+  }
+  return result;
+}
+
+}  // namespace nocmap::check

@@ -1,0 +1,35 @@
+// Automatic scenario minimization (DESIGN.md §10).
+//
+// Given a spec that fails an oracle, the shrinker searches for the smallest
+// spec that still fails it, re-running the oracle after every candidate
+// reduction. Reductions are tried in a fixed documented order — halve the
+// application count, halve the threads per application, shrink the mesh —
+// each phase first halving (fast descent) and then decrementing (tight
+// minimum), followed by a normalization pass that resets incidental knobs
+// (placement, torus links, config, traffic shape) to their defaults when the
+// failure survives without them. The process is deterministic: the same
+// failing spec and oracle always minimize to the same repro.
+#pragma once
+
+#include <cstddef>
+
+#include "check/oracles.h"
+#include "check/scenario.h"
+
+namespace nocmap::check {
+
+struct ShrinkResult {
+  /// Smallest spec found that still fails the oracle.
+  ScenarioSpec minimal;
+  /// Oracle re-executions performed while shrinking.
+  std::size_t attempts = 0;
+  /// Candidate reductions that kept the failure and were accepted.
+  std::size_t accepted = 0;
+};
+
+/// Minimizes `spec` against `oracle`. Precondition: oracle.run(spec)
+/// currently fails (if it doesn't, the input spec is returned unchanged
+/// with zero accepted reductions).
+ShrinkResult shrink_scenario(const ScenarioSpec& spec, const Oracle& oracle);
+
+}  // namespace nocmap::check

@@ -1,11 +1,29 @@
 #include "core/cost_cache.h"
 
+#include <atomic>
+
 #include "util/error.h"
 
 namespace nocmap {
 
 static_assert(sizeof(TileId) == sizeof(std::uint32_t),
               "CostView column gather assumes 32-bit tile ids");
+
+namespace check_hooks {
+
+namespace {
+std::atomic<bool> g_cost_off_by_one{false};
+}  // namespace
+
+void set_cost_cache_off_by_one(bool enabled) {
+  g_cost_off_by_one.store(enabled, std::memory_order_relaxed);
+}
+
+bool cost_cache_off_by_one() {
+  return g_cost_off_by_one.load(std::memory_order_relaxed);
+}
+
+}  // namespace check_hooks
 
 ThreadCostCache::ThreadCostCache(const Workload& workload,
                                  const TileLatencyModel& model)
@@ -23,6 +41,12 @@ ThreadCostCache::ThreadCostCache(const Workload& workload,
     for (std::size_t k = 0; k < num_tiles_; ++k) {
       const auto tile = static_cast<TileId>(k);
       row[k] = t.cache_rate * model.tc(tile) + t.memory_rate * model.tm(tile);
+    }
+  }
+  if (check_hooks::cost_cache_off_by_one() && num_threads_ > 0 &&
+      num_tiles_ > 1) {
+    for (std::size_t k = 0; k + 1 < num_tiles_; ++k) {
+      costs_[k] = costs_[k + 1];
     }
   }
 }

@@ -27,6 +27,18 @@
 
 namespace nocmap {
 
+namespace check_hooks {
+/// Mutation-canary fault injection (test-only; DESIGN.md §10). When enabled,
+/// every subsequently constructed ThreadCostCache copies thread 0's cost for
+/// tile k from tile k+1 — a deliberate off-by-one in the cost copy. The
+/// fuzzer's canary self-test turns this on to prove the differential oracles
+/// detect and shrink a seeded bug; nothing outside tests may enable it. The
+/// probe is a single relaxed atomic load per cache construction, so the
+/// production path is unaffected.
+void set_cost_cache_off_by_one(bool enabled);
+bool cost_cache_off_by_one();
+}  // namespace check_hooks
+
 class ThreadCostCache {
  public:
   /// Builds the dense num_threads × num_tiles matrix eagerly.

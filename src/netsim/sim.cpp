@@ -137,6 +137,7 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
   }
   result.drain_incomplete =
       net.packets_in_flight() > 0 || !traffic.idle();
+  result.activity_with_drain = net.total_activity();
 
   // --- Aggregate metrics.
   result.apl.resize(num_apps, 0.0);

@@ -75,6 +75,15 @@ struct SimResult {
 
   /// Fabric activity during the measurement window (for DSENT-lite).
   ActivityCounters activity;
+  /// Activity from the last reset (measurement start) through the end of
+  /// the drain phase. With warmup_cycles == 0 this covers the whole run, so
+  /// exact flit-conservation identities hold and are enforced by the check
+  /// subsystem (DESIGN.md §10): every crossbar departure is either a link
+  /// traversal or an ejection, and every buffered flit arrived either from
+  /// the local NI or over a link:
+  ///   crossbar_traversals == link_traversals + flits_ejected
+  ///   buffer_writes       == flits_injected + link_traversals
+  ActivityCounters activity_with_drain;
   /// Per-router / per-link load digest over the same window.
   RouterLoadSummary load;
   Cycle measured_cycles = 0;

@@ -1,0 +1,227 @@
+// Tests for the differential fuzzing & invariant-checking subsystem
+// (src/check/, DESIGN.md §10): scenario-generator determinism, the repro
+// round trip, every oracle on clean scenarios, the shrinker, and the
+// mutation-canary loop proving a seeded bug is caught and minimized.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "check/fuzzer.h"
+#include "check/oracles.h"
+#include "check/scenario.h"
+#include "check/shrink.h"
+#include "core/cost_cache.h"
+#include "util/error.h"
+
+namespace nocmap::check {
+namespace {
+
+/// RAII enable/disable of the cost-cache fault so no test can leak the
+/// canary into the rest of the suite.
+struct CanaryGuard {
+  CanaryGuard() { check_hooks::set_cost_cache_off_by_one(true); }
+  ~CanaryGuard() { check_hooks::set_cost_cache_off_by_one(false); }
+};
+
+std::filesystem::path fresh_temp_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("nocmap_check_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(ScenarioGenerator, IsDeterministic) {
+  for (const std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xffffffffffffffffULL}) {
+    const ScenarioSpec a = generate_scenario(seed);
+    const ScenarioSpec b = generate_scenario(seed);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_EQ(to_repro(a), to_repro(b));
+  }
+}
+
+TEST(ScenarioGenerator, SeedsProduceVariedValidSpecs) {
+  std::set<std::string> distinct;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    EXPECT_NO_THROW(validate_scenario(spec)) << "seed " << seed;
+    EXPECT_LE(spec.num_threads(), spec.num_tiles());
+    distinct.insert(to_repro(spec));
+  }
+  // 100 seeds must not collapse onto a handful of shapes.
+  EXPECT_GT(distinct.size(), 50u);
+}
+
+TEST(ScenarioGenerator, BuildProblemPadsToTileCount) {
+  const ScenarioSpec spec = generate_scenario(7);
+  const ObmProblem problem = build_problem(spec);
+  EXPECT_EQ(problem.num_threads(), problem.num_tiles());
+  EXPECT_GE(problem.num_applications(), spec.num_applications);
+}
+
+TEST(Repro, RoundTripsExactly) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    std::string oracle;
+    const ScenarioSpec parsed = from_repro(to_repro(spec, "hungarian"),
+                                           &oracle);
+    EXPECT_EQ(parsed, spec) << "seed " << seed;
+    EXPECT_EQ(oracle, "hungarian");
+  }
+}
+
+TEST(Repro, RejectsMalformedInput) {
+  EXPECT_THROW(from_repro("seed=1\n"), Error);          // missing keys
+  EXPECT_THROW(from_repro("not a repro"), Error);       // no key=value
+  const std::string valid = to_repro(generate_scenario(3));
+  EXPECT_THROW(from_repro(valid + "bogus_key=1\n"), Error);
+  EXPECT_THROW(from_repro(valid + "seed=2\n"), Error);  // duplicate key
+}
+
+TEST(Repro, SaveLoadFileRoundTrip) {
+  const auto dir = fresh_temp_dir("repro_io");
+  const ScenarioSpec spec = generate_scenario(11);
+  const std::string path = (dir / "r.scenario").string();
+  save_repro(path, spec, "exact_bound");
+  std::string oracle;
+  EXPECT_EQ(load_repro(path, &oracle), spec);
+  EXPECT_EQ(oracle, "exact_bound");
+  EXPECT_THROW(load_repro((dir / "missing.scenario").string()), Error);
+}
+
+TEST(Oracles, RegistryLookup) {
+  EXPECT_GE(all_oracles().size(), 6u);
+  for (const Oracle& oracle : all_oracles()) {
+    EXPECT_EQ(find_oracle(oracle.name), &oracle);
+  }
+  EXPECT_EQ(find_oracle("no_such_oracle"), nullptr);
+}
+
+/// Every oracle must pass on clean scenarios it declares itself applicable
+/// to (three per oracle keeps the suite fast; the fuzz smoke test covers
+/// breadth).
+TEST(Oracles, PassOnCleanScenarios) {
+  for (const Oracle& oracle : all_oracles()) {
+    int ran = 0;
+    for (std::uint64_t seed = 0; seed < 64 && ran < 3; ++seed) {
+      const ScenarioSpec spec = generate_scenario(seed);
+      if (!oracle.applicable(spec)) continue;
+      ++ran;
+      const OracleResult result = oracle.run(spec);
+      EXPECT_TRUE(result.ok)
+          << oracle.name << " failed on seed " << seed << ": "
+          << result.detail;
+    }
+    EXPECT_EQ(ran, 3) << "no applicable scenarios found for " << oracle.name;
+  }
+}
+
+TEST(Fuzzer, IterationSeedsAreDecorrelated) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 100; ++i) {
+    seeds.insert(iteration_seed(1, i));
+    seeds.insert(iteration_seed(2, i));
+  }
+  EXPECT_EQ(seeds.size(), 200u);  // overlapping bases explore new streams
+  EXPECT_EQ(iteration_seed(1, 0), iteration_seed(1, 0));
+}
+
+TEST(Fuzzer, CleanRunReportsNoFailures) {
+  FuzzOptions options;
+  options.iterations = 10;
+  options.seed = 1;
+  options.repro_dir = "";  // no repro writing
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.scenarios, 10u);
+  EXPECT_GT(report.oracle_checks, report.scenarios);
+}
+
+TEST(Fuzzer, RejectsUnknownOracleName) {
+  FuzzOptions options;
+  options.oracles = {"not_an_oracle"};
+  EXPECT_THROW(run_fuzz(options), Error);
+}
+
+TEST(Fuzzer, WriteReportPublishesStats) {
+  FuzzOptions options;
+  options.iterations = 3;
+  options.repro_dir = "";
+  const FuzzReport report = run_fuzz(options);
+  obs::RunReport run_report("test_check");
+  write_report(options, report, run_report);
+  const std::string json = run_report.to_json();
+  EXPECT_NE(json.find("\"fuzz\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenarios\": 3"), std::string::npos);
+}
+
+// --- The mutation-canary loop: seed a deliberate off-by-one into the cost
+// cache and require the whole pipeline — detection, shrinking, repro
+// writing, replay — to work end to end.
+
+TEST(Canary, FuzzerCatchesSeededBugAndShrinksIt) {
+  const auto dir = fresh_temp_dir("canary");
+  FuzzOptions options;
+  options.iterations = 10;
+  options.seed = 1;
+  options.repro_dir = dir.string();
+
+  FuzzReport report;
+  {
+    CanaryGuard canary;
+    report = run_fuzz(options);
+  }
+  ASSERT_EQ(report.failures.size(), 1u)
+      << "seeded cost-copy bug not caught within 10 iterations";
+  const FuzzFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.oracle, "mapper_sanity");
+  EXPECT_NE(failure.detail.find("cost cache incoherent"), std::string::npos)
+      << failure.detail;
+  // The acceptance bar: shrunk to a trivial scenario.
+  EXPECT_LE(failure.minimal.num_applications, 2u);
+  EXPECT_LE(failure.minimal.threads_per_app, 2u);
+
+  // The repro file exists, fails under the fault, and passes without it.
+  ASSERT_FALSE(failure.repro_path.empty());
+  ASSERT_TRUE(std::filesystem::exists(failure.repro_path));
+  {
+    CanaryGuard canary;
+    const ReplayResult replay = replay_repro(failure.repro_path);
+    EXPECT_FALSE(replay.ok);
+    EXPECT_EQ(replay.oracle, "mapper_sanity");
+  }
+  EXPECT_TRUE(replay_repro(failure.repro_path).ok);
+}
+
+TEST(Canary, ShrinkerMinimizesLargeScenario) {
+  // Start from a deliberately big spec so every phase has work to do.
+  ScenarioSpec spec = generate_scenario(3);
+  ASSERT_GE(spec.num_tiles(), 36u);
+  const Oracle* oracle = find_oracle("mapper_sanity");
+  ASSERT_NE(oracle, nullptr);
+
+  CanaryGuard canary;
+  const ShrinkResult result = shrink_scenario(spec, *oracle);
+  EXPECT_FALSE(oracle->run(result.minimal).ok);
+  EXPECT_EQ(result.minimal.num_applications, 1u);
+  EXPECT_EQ(result.minimal.threads_per_app, 1u);
+  // 2×2 meshes are fully symmetric (the off-by-one copies an identical
+  // cost), so the smallest mesh that still exposes the fault is 3×3.
+  EXPECT_EQ(result.minimal.mesh_side, 3u);
+  EXPECT_GT(result.attempts, 0u);
+  EXPECT_GT(result.accepted, 0u);
+}
+
+TEST(Canary, ShrinkIsNoOpOnPassingScenario) {
+  const ScenarioSpec spec = generate_scenario(5);
+  const Oracle* oracle = find_oracle("mapper_sanity");
+  ASSERT_NE(oracle, nullptr);
+  const ShrinkResult result = shrink_scenario(spec, *oracle);
+  EXPECT_EQ(result.minimal, spec);
+  EXPECT_EQ(result.accepted, 0u);
+}
+
+}  // namespace
+}  // namespace nocmap::check
