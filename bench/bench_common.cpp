@@ -88,6 +88,11 @@ ParallelConfig bench_parallel_config() {
   return config;
 }
 
+std::vector<SimResult> simulate_batch(
+    const std::vector<BatchScenario>& scenarios) {
+  return run_simulation_batch(scenarios, bench_parallel_config());
+}
+
 void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "==================================================\n"
             << title << '\n'

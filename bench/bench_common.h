@@ -15,6 +15,7 @@
 #include "core/parallel.h"
 #include "core/random_mapper.h"
 #include "core/sss_mapper.h"
+#include "netsim/sim.h"
 #include "util/table.h"
 #include "workload/synthesis.h"
 
@@ -48,6 +49,13 @@ std::vector<std::unique_ptr<Mapper>> paper_mappers(
 /// count taken from the NOCMAP_THREADS environment variable (unset or 0
 /// means all hardware threads).
 ParallelConfig bench_parallel_config();
+
+/// Runs a scenario batch through run_simulation_batch under the bench
+/// execution policy. Results are slot-ordered and bit-identical at any
+/// NOCMAP_THREADS setting; every bench that needs more than one simulation
+/// goes through this so independent scenarios shard across workers.
+std::vector<SimResult> simulate_batch(
+    const std::vector<BatchScenario>& scenarios);
 
 /// One serial-vs-parallel wall-clock measurement of a bench scenario.
 struct SpeedupRecord {

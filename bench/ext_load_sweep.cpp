@@ -2,10 +2,13 @@
 // curve of the simulated fabric, locating where the paper's workloads sit
 // relative to saturation, plus a routing-algorithm comparison (XY — the
 // paper's choice — vs YX vs O1TURN) under rising load.
+//
+// All scenarios are independent, so the whole bench is one simulation batch
+// (run_simulation_batch): tables are printed from the slot-ordered results
+// afterwards, and NOCMAP_THREADS only changes the wall-clock.
 #include <iostream>
 
 #include "bench_common.h"
-#include "netsim/sim.h"
 
 int main() {
   using namespace nocmap;
@@ -16,16 +19,58 @@ int main() {
   SortSelectSwapMapper sss;
   const Mapping mapping = sss.map(problem);
 
-  std::cout << "\n1. Injection-scale sweep (XY routing, SSS mapping of C1; "
-               "scale 1.0 = paper load):\n";
-  TextTable sweep({"scale", "packets", "avg latency", "p95(app4)",
-                   "td_q [cyc/hop]", "drained"});
-  for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0}) {
+  const std::vector<double> sweep_scales = {0.5, 1.0, 2.0, 4.0,
+                                            8.0, 16.0, 24.0};
+  const std::vector<double> routing_scales = {1.0, 8.0, 16.0};
+  const std::vector<RoutingAlgo> routing_algos = {
+      RoutingAlgo::kXY, RoutingAlgo::kYX, RoutingAlgo::kO1Turn};
+  const std::vector<double> burst_scales = {1.0, 3.0};
+
+  std::vector<BatchScenario> batch;
+  auto add = [&](const SimConfig& cfg) {
+    batch.push_back({&problem, &mapping, cfg});
+  };
+  // Section 1: injection-scale sweep.
+  for (double scale : sweep_scales) {
     SimConfig cfg;
     cfg.warmup_cycles = 2000;
     cfg.measure_cycles = 20000;
     cfg.traffic.injection_scale = scale;
-    const SimResult r = run_simulation(problem, mapping, cfg);
+    add(cfg);
+  }
+  // Section 2: routing algorithms under rising load.
+  for (double scale : routing_scales) {
+    for (RoutingAlgo algo : routing_algos) {
+      SimConfig cfg;
+      cfg.warmup_cycles = 2000;
+      cfg.measure_cycles = 20000;
+      cfg.traffic.injection_scale = scale;
+      cfg.network.routing = algo;
+      cfg.network.vcs_per_port = 4;  // even O1TURN partition
+      add(cfg);
+    }
+  }
+  // Section 3: steady vs bursty at the same mean rate.
+  for (double scale : burst_scales) {
+    SimConfig cfg;
+    cfg.warmup_cycles = 2000;
+    cfg.measure_cycles = 30000;
+    cfg.traffic.injection_scale = scale;
+    add(cfg);
+    cfg.traffic.bursty = true;
+    cfg.traffic.burst_duty = 0.25;
+    add(cfg);
+  }
+
+  const std::vector<SimResult> results = bench::simulate_batch(batch);
+  std::size_t slot = 0;
+
+  std::cout << "\n1. Injection-scale sweep (XY routing, SSS mapping of C1; "
+               "scale 1.0 = paper load):\n";
+  TextTable sweep({"scale", "packets", "avg latency", "p95(app4)",
+                   "td_q [cyc/hop]", "drained"});
+  for (double scale : sweep_scales) {
+    const SimResult& r = results[slot++];
     sweep.add_row({fmt(scale, 1), std::to_string(r.packets_measured),
                    fmt(r.g_apl), fmt(r.app_percentile(3, 0.95), 1),
                    fmt(r.activity.avg_queue_wait(), 3),
@@ -39,18 +84,10 @@ int main() {
   std::cout << "\n2. Routing algorithms at moderate and high load "
                "(avg latency in cycles):\n";
   TextTable routing({"scale", "XY", "YX", "O1TURN"});
-  for (double scale : {1.0, 8.0, 16.0}) {
+  for (double scale : routing_scales) {
     std::vector<std::string> row{fmt(scale, 1)};
-    for (RoutingAlgo algo : {RoutingAlgo::kXY, RoutingAlgo::kYX,
-                             RoutingAlgo::kO1Turn}) {
-      SimConfig cfg;
-      cfg.warmup_cycles = 2000;
-      cfg.measure_cycles = 20000;
-      cfg.traffic.injection_scale = scale;
-      cfg.network.routing = algo;
-      cfg.network.vcs_per_port = 4;  // even O1TURN partition
-      const SimResult r = run_simulation(problem, mapping, cfg);
-      row.push_back(fmt(r.g_apl));
+    for (std::size_t a = 0; a < routing_algos.size(); ++a) {
+      row.push_back(fmt(results[slot++].g_apl));
     }
     routing.add_row(row);
   }
@@ -64,15 +101,9 @@ int main() {
                "Markov, duty 0.25):\n";
   TextTable burst({"scale", "steady g-APL", "steady p99(app4)",
                    "bursty g-APL", "bursty p99(app4)"});
-  for (double scale : {1.0, 3.0}) {
-    SimConfig cfg;
-    cfg.warmup_cycles = 2000;
-    cfg.measure_cycles = 30000;
-    cfg.traffic.injection_scale = scale;
-    const SimResult steady = run_simulation(problem, mapping, cfg);
-    cfg.traffic.bursty = true;
-    cfg.traffic.burst_duty = 0.25;
-    const SimResult bursty = run_simulation(problem, mapping, cfg);
+  for (double scale : burst_scales) {
+    const SimResult& steady = results[slot++];
+    const SimResult& bursty = results[slot++];
     burst.add_row({fmt(scale, 1), fmt(steady.g_apl),
                    fmt(steady.app_percentile(3, 0.99), 1), fmt(bursty.g_apl),
                    fmt(bursty.app_percentile(3, 0.99), 1)});

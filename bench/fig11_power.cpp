@@ -3,12 +3,14 @@
 // feeding the activity counters into the DSENT-lite power model.
 // Paper shape: SSS has negligible dynamic-power overhead vs Global
 // (< 2.7%) and is slightly better than MC and SA.
+//
+// Two batch phases, both deterministic at any worker count: the 4x8
+// mappings fan out across the parallel runner, then the 32 replays go
+// through run_simulation_batch.
 #include <iostream>
 
 #include "bench_common.h"
-#include "netsim/sim.h"
 #include "power/dsent_lite.h"
-#include "util/thread_pool.h"
 
 int main() {
   using namespace nocmap;
@@ -23,22 +25,41 @@ int main() {
   sim_cfg.warmup_cycles = 2000;
   sim_cfg.measure_cycles = 40000;
 
-  // (config, method) runs are independent; shard across the pool.
-  std::vector<double> dynamic_mw(configs.size() * kMethods, 0.0);
-  const DsentLitePowerModel power;
-  parallel_for(0, configs.size() * kMethods, [&](std::size_t idx) {
+  std::vector<ObmProblem> problems;
+  problems.reserve(configs.size());
+  for (const ConfigSpec& spec : configs) {
+    problems.push_back(bench::standard_problem(spec));
+  }
+
+  // Phase 1: (config, method) mappings are independent pure units.
+  std::vector<Mapping> mappings(configs.size() * kMethods);
+  ParallelTrialRunner runner(bench::bench_parallel_config());
+  runner.for_each(mappings.size(), [&](std::size_t idx) {
     const std::size_t c = idx / kMethods;
     const std::size_t m = idx % kMethods;
-    const ObmProblem problem = bench::standard_problem(configs[c]);
     auto mappers = bench::paper_mappers();
-    const Mapping mapping = mappers[m]->map(problem);
-    const SimResult r = run_simulation(problem, mapping, sim_cfg);
+    mappings[idx] = mappers[m]->map(problems[c]);
+  });
+
+  // Phase 2: replay every mapping on the cycle-level fabric in one batch.
+  std::vector<BatchScenario> batch;
+  batch.reserve(mappings.size());
+  for (std::size_t idx = 0; idx < mappings.size(); ++idx) {
+    batch.push_back({&problems[idx / kMethods], &mappings[idx], sim_cfg});
+  }
+  const std::vector<SimResult> results = bench::simulate_batch(batch);
+
+  const DsentLitePowerModel power;
+  std::vector<double> dynamic_mw(results.size(), 0.0);
+  for (std::size_t idx = 0; idx < results.size(); ++idx) {
+    const ObmProblem& problem = problems[idx / kMethods];
     dynamic_mw[idx] = power
-                          .report(r.activity, r.measured_cycles,
+                          .report(results[idx].activity,
+                                  results[idx].measured_cycles,
                                   problem.mesh().num_tiles(),
                                   mesh_link_count(problem.mesh()))
                           .dynamic_mw;
-  });
+  }
 
   TextTable t({"cfg", "Global [mW]", "MC [mW]", "SA [mW]", "SSS [mW]",
                "SSS vs Global"});

@@ -8,7 +8,6 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "util/thread_pool.h"
 
 namespace {
 
@@ -62,8 +61,11 @@ int main() {
   for (double ratio : ratios) {
     const auto iterations = static_cast<std::size_t>(std::clamp(
         ratio * sss_seconds * iters_per_second, 50.0, 5.0e6));
+    // Per-configuration chains are independent pure units; shard them
+    // across the deterministic runner (same results at any worker count).
     std::vector<double> results(configs.size(), 0.0);
-    parallel_for(0, configs.size(), [&](std::size_t c) {
+    ParallelTrialRunner runner(bench::bench_parallel_config());
+    runner.for_each(configs.size(), [&](std::size_t c) {
       const ObmProblem problem = bench::standard_problem(configs[c]);
       AnnealingMapper sa(AnnealingParams{
           .iterations = iterations, .seed = bench::kAlgorithmSeed + c});

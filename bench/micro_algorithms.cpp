@@ -4,6 +4,8 @@
 // scaling (Section IV.B).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "assign/hungarian.h"
 #include "core/annealing_mapper.h"
 #include "core/evaluator.h"
@@ -117,4 +119,16 @@ BENCHMARK(BM_FullEvaluate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): print_header bootstraps the
+// RunReport (wall time + metrics JSON under bench_results/), so this binary
+// shows up in the observability layer like every other bench.
+int main(int argc, char** argv) {
+  nocmap::bench::print_header(
+      "micro_algorithms — building-block microbenchmarks",
+      "complexity claims of paper Section IV.B");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmark of the cycle-level network simulator's hot path, emitting
+// the committed perf baseline BENCH_netsim.json (gated by
+// bench/compare_bench.py in CI's release leg, like the assignment kernel).
+//
+// Scenarios exercise the structure-of-arrays router engine from different
+// angles:
+//
+//  * mesh8_c1_sss      — paper-scale 8x8 fabric, C1 workload under the SSS
+//                        mapping: the configuration every figure bench
+//                        replays, dominated by moderately loaded routers.
+//  * mesh4_congested8x — a saturated 4x4 fabric (8x injection): dense
+//                        occupancy masks, deep queues, worst-case switch
+//                        allocation.
+//  * mesh8_o1turn_vc4  — O1TURN with 4 VCs: widest per-port VC scan and
+//                        split VC ranges.
+//  * batch8_mixed      — run_simulation_batch over 8 mixed-load scenarios:
+//                        the batch API the figure benches shard across
+//                        workers (timed at 1 worker so the number tracks
+//                        engine throughput, not core count).
+//
+// Each scenario reports best-of-3 end-to-end wall times (ms per run).
+// Optional argv[1] is the output directory (default ".").
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/run_report.h"
+
+namespace {
+
+using namespace nocmap;
+
+// Accumulated APLs; printed so the optimizer cannot drop the runs.
+double g_sink = 0.0;
+
+/// Best-of-3 single invocations (runs are milliseconds-scale).
+template <typename F>
+double ms_per_run(F&& f) {
+  using clock = std::chrono::steady_clock;
+  f();  // warm-up
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = clock::now();
+    f();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+ObmProblem small_problem() {
+  const Mesh mesh = Mesh::square(4);
+  std::vector<Application> apps(2);
+  apps[0].name = "light";
+  apps[0].threads.assign(8, ThreadProfile{2.0, 0.3});
+  apps[1].name = "heavy";
+  apps[1].threads.assign(8, ThreadProfile{8.0, 1.0});
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    Workload(std::move(apps)));
+}
+
+struct ScenarioResult {
+  std::string scenario;
+  double run_ms = 0.0;
+};
+
+void write_netsim_json(const std::filesystem::path& path,
+                       const std::vector<ScenarioResult>& results) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench\": \"micro_netsim\",\n"
+     << "  \"unit\": \"ms_per_run\",\n"
+     << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << "    {\"scenario\": \"" << results[i].scenario
+       << "\", \"run_ms\": " << results[i].run_ms << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  obs::RunReport::global().note_artifact(path.string());
+  std::cout << "[json: " << path.string() << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : ".";
+  bench::print_header("micro_netsim — router-engine hot-path timings",
+                      "perf baseline layer (DESIGN.md §8, §12)");
+
+  std::vector<ScenarioResult> results;
+  auto record = [&](const std::string& scenario, double ms) {
+    results.push_back({scenario, ms});
+    obs::RunReport::global().set("netsim." + scenario + ".run_ms", ms);
+    std::cout << scenario << ": " << ms << " ms/run\n";
+  };
+
+  const ObmProblem paper = bench::standard_problem("C1");
+  SortSelectSwapMapper sss;
+  const Mapping paper_map = sss.map(paper);
+  const ObmProblem small = small_problem();
+  const Mapping small_map = small.identity_mapping();
+
+  {
+    SimConfig cfg;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 5000;
+    record("mesh8_c1_sss", ms_per_run([&] {
+             g_sink += run_simulation(paper, paper_map, cfg).g_apl;
+           }));
+  }
+  {
+    SimConfig cfg;
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 5000;
+    cfg.traffic.injection_scale = 8.0;
+    record("mesh4_congested8x", ms_per_run([&] {
+             g_sink += run_simulation(small, small_map, cfg).g_apl;
+           }));
+  }
+  {
+    SimConfig cfg;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 5000;
+    cfg.network.routing = RoutingAlgo::kO1Turn;
+    cfg.network.vcs_per_port = 4;
+    cfg.traffic.injection_scale = 2.0;
+    record("mesh8_o1turn_vc4", ms_per_run([&] {
+             g_sink += run_simulation(paper, paper_map, cfg).g_apl;
+           }));
+  }
+  {
+    std::vector<BatchScenario> batch;
+    for (std::size_t i = 0; i < 8; ++i) {
+      SimConfig cfg;
+      cfg.warmup_cycles = 500;
+      cfg.measure_cycles = 2000;
+      cfg.traffic.injection_scale = 1.0 + static_cast<double>(i);
+      batch.push_back({&small, &small_map, cfg});
+    }
+    record("batch8_mixed", ms_per_run([&] {
+             const auto out =
+                 run_simulation_batch(batch,
+                                      ParallelConfig::serial_config());
+             for (const SimResult& r : out) g_sink += r.g_apl;
+           }));
+  }
+
+  write_netsim_json(out_dir / "BENCH_netsim.json", results);
+  std::cout << "(checksum " << g_sink << ")\n";
+  return 0;
+}

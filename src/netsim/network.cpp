@@ -1,27 +1,38 @@
 #include "netsim/network.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "util/rng.h"
 
 namespace nocmap {
 
-Network::Network(const Mesh& mesh, const NetworkConfig& config)
-    : mesh_(&mesh), config_(config) {
+namespace {
+
+/// Constructor gate: the engine is a member, so validate before it builds.
+const Mesh& require_simulable(const Mesh& mesh) {
   NOCMAP_REQUIRE(!mesh.is_torus(),
                  "the cycle-level simulator models meshes only (the torus "
                  "is an analytic extension; see ext_torus)");
+  return mesh;
+}
+
+}  // namespace
+
+Network::Network(const Mesh& mesh, const NetworkConfig& config)
+    : mesh_(&mesh),
+      config_(config),
+      engine_(require_simulable(mesh), config, mesh.num_tiles(), 0) {
   NOCMAP_REQUIRE(
       config.routing != RoutingAlgo::kO1Turn || config.vcs_per_port >= 2,
       "O1TURN needs at least two VCs to partition between sub-routes");
   const std::size_t n = mesh.num_tiles();
-  routers_.reserve(n);
-  for (TileId t = 0; t < n; ++t) routers_.emplace_back(t, mesh, config);
   nis_.resize(n);
   for (auto& ni : nis_) {
     ni.credits.assign(config.vcs_per_port, config.buffer_depth);
   }
+  ni_active_words_.assign((n + 63) / 64, 0);
   // Horizon: all internal delays are <= max(link_latency, 1) + 1.
   ring_.resize(static_cast<std::size_t>(
       std::max<std::uint32_t>(config.link_latency, 1) + 2));
@@ -81,15 +92,16 @@ void Network::inject_packet(const PacketInfo& info) {
     flit.dst = info.dst;
     ni.source_queue.push_back(flit);
   }
+  ni_active_words_[info.src >> 6] |= 1ull << (info.src & 63);
 }
 
 void Network::deliver_due_events() {
   Bucket& bucket = ring_[now_ % ring_.size()];
   for (const auto& pf : bucket.flits) {
-    routers_[pf.router].receive_flit(pf.port, pf.vc, pf.flit, now_);
+    engine_.receive_flit(pf.router, pf.port, pf.vc, pf.flit, now_);
   }
   for (const auto& pc : bucket.credits) {
-    routers_[pc.router].receive_credit(pc.port, pc.vc);
+    engine_.receive_credit(pc.router, pc.port, pc.vc);
   }
   for (const auto& nc : bucket.ni_credits) {
     Ni& ni = nis_[nc.router];
@@ -106,61 +118,86 @@ void Network::deliver_due_events() {
 }
 
 void Network::inject_from_nis() {
-  for (TileId t = 0; t < nis_.size(); ++t) {
-    Ni& ni = nis_[t];
-    if (ni.source_queue.empty()) continue;
-    const Flit& front = ni.source_queue.front();
+  // Ascending-tile scan of NIs with queued flits (same visit order as the
+  // dense loop; an empty NI's iteration was a no-op).
+  for (std::size_t w = 0; w < ni_active_words_.size(); ++w) {
+    std::uint64_t bits = ni_active_words_[w];
+    while (bits) {
+      const auto t =
+          static_cast<TileId>(w * 64 +
+                              static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      Ni& ni = nis_[t];
+      const Flit& front = ni.source_queue.front();
 
-    if (front.is_head && !ni.vc_held) {
-      // Claim a local-input VC with available credit for the new packet,
-      // restricted to the packet's sub-route class.
-      std::uint32_t lo = 0;
-      std::uint32_t hi = config_.vcs_per_port;
-      config_.vc_range(front.yx, lo, hi);
-      for (std::uint32_t v = lo; v < hi; ++v) {
-        if (ni.credits[v] > 0) {
-          ni.vc_held = true;
-          ni.held_vc = v;
-          break;
+      if (front.is_head && !ni.vc_held) {
+        // Claim a local-input VC with available credit for the new packet,
+        // restricted to the packet's sub-route class.
+        std::uint32_t lo = 0;
+        std::uint32_t hi = config_.vcs_per_port;
+        config_.vc_range(front.yx, lo, hi);
+        for (std::uint32_t v = lo; v < hi; ++v) {
+          if (ni.credits[v] > 0) {
+            ni.vc_held = true;
+            ni.held_vc = v;
+            break;
+          }
         }
       }
-    }
-    if (!ni.vc_held || ni.credits[ni.held_vc] == 0) continue;
+      if (!ni.vc_held || ni.credits[ni.held_vc] == 0) continue;
 
-    --ni.credits[ni.held_vc];
-    routers_[t].receive_flit(PortDir::kLocal, ni.held_vc, front, now_);
-    ++flits_injected_;
-    if (front.is_tail) ni.vc_held = false;
-    ni.source_queue.pop_front();
+      --ni.credits[ni.held_vc];
+      engine_.receive_flit(t, PortDir::kLocal, ni.held_vc, front, now_);
+      ++flits_injected_;
+      if (front.is_tail) ni.vc_held = false;
+      ni.source_queue.pop_front();
+      if (ni.source_queue.empty()) {
+        ni_active_words_[t >> 6] &= ~(1ull << (t & 63));
+      }
+    }
   }
 }
 
 void Network::tick_routers() {
-  for (TileId t = 0; t < routers_.size(); ++t) {
-    departures_scratch_.clear();
-    routers_[t].tick(now_, departures_scratch_);
-    for (const Departure& dep : departures_scratch_) {
-      // Credit for the freed input buffer slot, one cycle upstream.
-      if (dep.in_port == PortDir::kLocal) {
-        bucket_at(now_ + 1).ni_credits.push_back({t, PortDir::kLocal,
-                                                  dep.in_vc});
-      } else {
-        const TileId up = neighbor(t, dep.in_port);
-        bucket_at(now_ + 1).credits.push_back(
-            {up, opposite(dep.in_port), dep.in_vc});
+  // Ascending-tile scan of routers with buffered flits. A router without
+  // buffered flits changes no state in a tick (route/VA touch only
+  // occupied VCs, the switch allocator has no candidates and the
+  // distance-weighted arbiter draws no random number), so skipping it is
+  // exact, and the scan order keeps bucket push order — flits, credits,
+  // sinks — identical to ticking every router in tile order.
+  for (std::size_t w = 0; w < engine_.num_active_words(); ++w) {
+    std::uint64_t bits = engine_.active_word(w);
+    while (bits) {
+      const auto t =
+          static_cast<TileId>(w * 64 +
+                              static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      departures_scratch_.clear();
+      engine_.tick(t, now_, departures_scratch_);
+      for (const Departure& dep : departures_scratch_) {
+        // Credit for the freed input buffer slot, one cycle upstream.
+        if (dep.in_port == PortDir::kLocal) {
+          bucket_at(now_ + 1).ni_credits.push_back({t, PortDir::kLocal,
+                                                    dep.in_vc});
+        } else {
+          const TileId up = neighbor(t, dep.in_port);
+          bucket_at(now_ + 1).credits.push_back(
+              {up, opposite(dep.in_port), dep.in_vc});
+        }
+        // The flit itself.
+        if (dep.out_port == PortDir::kLocal) {
+          bucket_at(now_ + 1).sinks.push_back({t, dep.out_vc, dep.flit});
+        } else {
+          const TileId down = neighbor(t, dep.out_port);
+          Flit forwarded = dep.flit;
+          ++forwarded.hops;  // distance credit for the arbiter
+          bucket_at(now_ + config_.link_latency)
+              .flits.push_back(
+                  {down, opposite(dep.out_port), dep.out_vc, forwarded});
+          ++link_traversals_;
+        }
       }
-      // The flit itself.
-      if (dep.out_port == PortDir::kLocal) {
-        bucket_at(now_ + 1).sinks.push_back({t, dep.out_vc, dep.flit});
-      } else {
-        const TileId down = neighbor(t, dep.out_port);
-        Flit forwarded = dep.flit;
-        ++forwarded.hops;  // distance credit for the arbiter
-        bucket_at(now_ + config_.link_latency)
-            .flits.push_back(
-                {down, opposite(dep.out_port), dep.out_vc, forwarded});
-        ++link_traversals_;
-      }
+      engine_.retire_if_idle(t);
     }
   }
 }
@@ -170,7 +207,7 @@ void Network::process_sink(const PendingSink& sink) {
   ++flits_ejected_;
   // The NI consumes the flit immediately; recredit the router's local
   // output VC so ejection never stalls.
-  routers_[sink.tile].receive_credit(PortDir::kLocal, sink.out_vc);
+  engine_.receive_credit(sink.tile, PortDir::kLocal, sink.out_vc);
   const std::uint32_t seen = ++ni.sink_flits[sink.flit.packet];
   if (!sink.flit.is_tail) return;
 
@@ -196,20 +233,46 @@ std::vector<Ejection> Network::take_ejections() {
 }
 
 const ActivityCounters& Network::router_activity(TileId t) const {
-  NOCMAP_REQUIRE(t < routers_.size(), "router id out of range");
-  return routers_[t].activity();
+  NOCMAP_REQUIRE(t < engine_.num_routers(), "router id out of range");
+  return engine_.activity(t);
 }
 
 ActivityCounters Network::total_activity() const {
   ActivityCounters total;
-  for (const auto& r : routers_) total += r.activity();
+  for (std::size_t t = 0; t < engine_.num_routers(); ++t) {
+    total += engine_.activity(t);
+  }
   total.link_traversals = link_traversals_;
   return total;
 }
 
 void Network::reset_activity() {
-  for (auto& r : routers_) r.reset_activity();
+  engine_.reset_activity();
   link_traversals_ = 0;
+  have_snapshot_ = false;
+}
+
+void Network::snapshot_activity() {
+  const std::size_t n = engine_.num_routers();
+  measured_activity_.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    measured_activity_[t] = engine_.activity(t);
+  }
+  measured_link_traversals_ = link_traversals_;
+  have_snapshot_ = true;
+}
+
+const ActivityCounters& Network::measured_router_activity(TileId t) const {
+  NOCMAP_REQUIRE(t < engine_.num_routers(), "router id out of range");
+  return have_snapshot_ ? measured_activity_[t] : engine_.activity(t);
+}
+
+ActivityCounters Network::measured_total_activity() const {
+  if (!have_snapshot_) return total_activity();
+  ActivityCounters total;
+  for (const auto& a : measured_activity_) total += a;
+  total.link_traversals = measured_link_traversals_;
+  return total;
 }
 
 }  // namespace nocmap

@@ -1,12 +1,19 @@
 // Whole-network cycle-level model: routers, links, network interfaces.
 //
-// The Network owns one Router and one network interface (NI) per tile.
-// Traffic enters through NI source queues (open-loop injection: queues are
-// unbounded, so offered load is never throttled by the network — matching
-// trace-driven evaluation), moves through the credit-based wormhole fabric,
-// and is consumed by NI sinks. The caller drives the clock via step() and
-// drains ejection records; packet payload semantics (cache/memory
-// transactions, replies) live in traffic.h on top of this layer.
+// The Network owns one RouterEngine covering every tile (structure-of-
+// arrays router state; see router.h) and one network interface (NI) per
+// tile. Traffic enters through NI source queues (open-loop injection:
+// queues are unbounded, so offered load is never throttled by the network —
+// matching trace-driven evaluation), moves through the credit-based
+// wormhole fabric, and is consumed by NI sinks. The caller drives the clock
+// via step() and drains ejection records; packet payload semantics
+// (cache/memory transactions, replies) live in traffic.h on top of this
+// layer.
+//
+// Idle tiles cost nothing: routers are ticked off the engine's active
+// bitmask and NIs off a source-queue bitmask, both scanned in ascending
+// tile order so event and ejection ordering — and with it every
+// floating-point accumulation downstream — is identical to the dense loop.
 #pragma once
 
 #include <deque>
@@ -57,6 +64,16 @@ class Network {
   const ActivityCounters& router_activity(TileId t) const;
   void reset_activity();
 
+  /// Freezes the current per-router counters as the measurement-window
+  /// snapshot, so load summaries computed later (e.g. after a drain phase)
+  /// cannot be inflated by post-window traffic.
+  void snapshot_activity();
+  /// Per-router counters as of the last snapshot_activity() call (falls
+  /// back to the live counters when no snapshot was taken).
+  const ActivityCounters& measured_router_activity(TileId t) const;
+  /// Sum of the snapshot counters, link traversals included.
+  ActivityCounters measured_total_activity() const;
+
  private:
   struct Ni {
     std::deque<Flit> source_queue;
@@ -103,8 +120,9 @@ class Network {
   NetworkConfig config_;
   Cycle now_ = 0;
 
-  std::vector<Router> routers_;
+  RouterEngine engine_;
   std::vector<Ni> nis_;
+  std::vector<std::uint64_t> ni_active_words_;  ///< nonempty source queues
   std::unordered_map<PacketId, PacketInfo> packets_;
   std::vector<Ejection> ejections_;
 
@@ -116,6 +134,11 @@ class Network {
   std::uint64_t flits_injected_ = 0;
   std::uint64_t flits_ejected_ = 0;
   std::uint64_t link_traversals_ = 0;
+
+  // Measurement-window snapshot (snapshot_activity).
+  std::vector<ActivityCounters> measured_activity_;
+  std::uint64_t measured_link_traversals_ = 0;
+  bool have_snapshot_ = false;
 };
 
 }  // namespace nocmap

@@ -1,6 +1,6 @@
 #include "netsim/router.h"
 
-#include <algorithm>
+#include <bit>
 
 namespace nocmap {
 
@@ -15,56 +15,85 @@ PortDir opposite(PortDir d) {
   return PortDir::kLocal;
 }
 
-Router::Router(TileId id, const Mesh& mesh, const NetworkConfig& config)
-    : id_(id), mesh_(&mesh), config_(config),
-      arbiter_rng_(splitmix64(config.arbitration_seed) ^
-                   splitmix64(static_cast<std::uint64_t>(id) + 1)) {
+RouterEngine::RouterEngine(const Mesh& mesh, const NetworkConfig& config,
+                           std::size_t num_routers, TileId first_tile)
+    : mesh_(&mesh),
+      config_(config),
+      num_routers_(num_routers),
+      vcs_(config.vcs_per_port),
+      depth_(config.buffer_depth),
+      vc_slots_(kNumPorts * config.vcs_per_port) {
   NOCMAP_REQUIRE(config_.vcs_per_port >= 1, "need at least one VC");
   NOCMAP_REQUIRE(kNumPorts * config_.vcs_per_port <= 64,
                  "arbitration candidate buffer supports <= 64 VC slots");
   NOCMAP_REQUIRE(config_.buffer_depth >= 1, "need at least one buffer slot");
-  inputs_.resize(kNumPorts * config_.vcs_per_port);
-  outputs_.resize(kNumPorts * config_.vcs_per_port);
+  NOCMAP_REQUIRE(num_routers >= 1, "engine needs at least one router");
+
+  const std::size_t total_vcs = num_routers * vc_slots_;
+  pool_.resize(total_vcs * depth_);
+  fifo_head_.assign(total_vcs, 0);
+  fifo_size_.assign(total_vcs, 0);
+  route_valid_.assign(total_vcs, 0);
+  out_port_.assign(total_vcs, 0);
+  out_vc_valid_.assign(total_vcs, 0);
+  out_vc_.assign(total_vcs, 0);
+  out_allocated_.assign(total_vcs, 0);
   // Downstream input buffers start empty: full credit everywhere.
-  for (auto& ovc : outputs_) ovc.credits = config_.buffer_depth;
+  out_credits_.assign(total_vcs, depth_);
+  rr_pointer_.assign(num_routers * kNumPorts, 0);
+  nonempty_mask_.assign(num_routers, 0);
+  buffered_.assign(num_routers, 0);
+  activity_.assign(num_routers, ActivityCounters{});
+  active_words_.assign((num_routers + 63) / 64, 0);
+
+  arbiter_rng_.reserve(num_routers);
+  coord_.reserve(num_routers);
+  for (std::size_t r = 0; r < num_routers; ++r) {
+    const auto tile = static_cast<TileId>(first_tile + r);
+    arbiter_rng_.emplace_back(
+        splitmix64(config.arbitration_seed) ^
+        splitmix64(static_cast<std::uint64_t>(tile) + 1));
+    coord_.push_back(mesh.coord_of(tile));
+  }
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    port_slot_mask_[p] = ((1ull << vcs_) - 1) << (p * vcs_);
+  }
 }
 
-Router::InputVc& Router::in_vc(PortDir port, std::uint32_t vc) {
-  return inputs_[port_index(port) * config_.vcs_per_port + vc];
+bool RouterEngine::can_accept(std::size_t router, PortDir port,
+                              std::uint32_t vc) const {
+  return fifo_size_[vc_index(router, port_index(port), vc)] < depth_;
 }
 
-const Router::InputVc& Router::in_vc(PortDir port, std::uint32_t vc) const {
-  return inputs_[port_index(port) * config_.vcs_per_port + vc];
-}
-
-Router::OutputVc& Router::out_vc(PortDir port, std::uint32_t vc) {
-  return outputs_[port_index(port) * config_.vcs_per_port + vc];
-}
-
-bool Router::can_accept(PortDir port, std::uint32_t vc) const {
-  return in_vc(port, vc).buffer.size() < config_.buffer_depth;
-}
-
-void Router::receive_flit(PortDir port, std::uint32_t vc, const Flit& flit,
-                          Cycle now) {
-  InputVc& ivc = in_vc(port, vc);
-  NOCMAP_REQUIRE(ivc.buffer.size() < config_.buffer_depth,
+void RouterEngine::receive_flit(std::size_t router, PortDir port,
+                                std::uint32_t vc, const Flit& flit,
+                                Cycle now) {
+  const std::size_t slot = port_index(port) * vcs_ + vc;
+  const std::size_t idx = router * vc_slots_ + slot;
+  NOCMAP_REQUIRE(fifo_size_[idx] < depth_,
                  "input VC buffer overflow (credit protocol violated)");
-  Flit stored = flit;
+  std::size_t tail = fifo_head_[idx] + fifo_size_[idx];
+  if (tail >= depth_) tail -= depth_;
+  Flit& stored = pool_[idx * depth_ + tail];
+  stored = flit;
   stored.enqueued = now;
-  ivc.buffer.push_back(stored);
-  ++activity_.buffer_writes;
+  ++fifo_size_[idx];
+  nonempty_mask_[router] |= 1ull << slot;
+  ++buffered_[router];
+  ++activity_[router].buffer_writes;
+  active_words_[router >> 6] |= 1ull << (router & 63);
 }
 
-void Router::receive_credit(PortDir port, std::uint32_t vc) {
-  OutputVc& ovc = out_vc(port, vc);
-  NOCMAP_REQUIRE(ovc.credits < config_.buffer_depth,
+void RouterEngine::receive_credit(std::size_t router, PortDir port,
+                                  std::uint32_t vc) {
+  const std::size_t idx = vc_index(router, port_index(port), vc);
+  NOCMAP_REQUIRE(out_credits_[idx] < depth_,
                  "credit overflow (credit protocol violated)");
-  ++ovc.credits;
+  ++out_credits_[idx];
 }
 
-PortDir Router::route(TileId dst, bool yx) const {
-  const TileCoord here = mesh_->coord_of(id_);
+PortDir RouterEngine::route(std::size_t router, TileId dst, bool yx) const {
+  const TileCoord here = coord_[router];
   const TileCoord there = mesh_->coord_of(dst);
   if (yx) {
     // Y (rows) first, then X (columns).
@@ -82,72 +111,71 @@ PortDir Router::route(TileId dst, bool yx) const {
   return PortDir::kLocal;
 }
 
-void Router::tick(Cycle now, std::vector<Departure>& out) {
-  const std::uint32_t vcs = config_.vcs_per_port;
+void RouterEngine::tick(std::size_t router, Cycle now,
+                        std::vector<Departure>& out) {
+  const std::uint32_t vcs = vcs_;
+  const std::size_t base = router * vc_slots_;
+  ActivityCounters& act = activity_[router];
 
-  // --- Route computation + VC allocation for head flits at buffer heads.
-  for (std::size_t p = 0; p < kNumPorts; ++p) {
-    for (std::uint32_t v = 0; v < vcs; ++v) {
-      InputVc& ivc = in_vc(static_cast<PortDir>(p), v);
-      if (ivc.buffer.empty()) continue;
-      const Flit& head = ivc.buffer.front();
-      if (!head.is_head) continue;  // body/tail: route already held
-      if (!ivc.route_valid) {
-        ivc.out_port = route(head.dst, head.yx);
-        ivc.route_valid = true;
+  // --- Route computation + VC allocation for head flits at buffer heads,
+  // fused with the switch-allocation request scan. Occupied slots are
+  // visited in ascending (port, vc) order — identical to the nested loop a
+  // dense implementation would run — and a slot's SA request depends only
+  // on its own state and untouched credit counters, so computing it right
+  // after the slot's RC/VA step matches a separate full pass bit-for-bit.
+  std::array<std::uint64_t, kNumPorts> requests{};
+  std::uint64_t pending = nonempty_mask_[router];
+  while (pending) {
+    const auto slot = static_cast<std::size_t>(std::countr_zero(pending));
+    pending &= pending - 1;
+    const std::size_t idx = base + slot;
+    const Flit& head = pool_[idx * depth_ + fifo_head_[idx]];
+    if (head.is_head) {  // body/tail: route already held
+      if (!route_valid_[idx]) {
+        out_port_[idx] =
+            static_cast<std::uint8_t>(route(router, head.dst, head.yx));
+        route_valid_[idx] = 1;
       }
-      if (!ivc.out_vc_valid) {
+      if (!out_vc_valid_[idx]) {
         // Claim the lowest-index free downstream VC within the flit's
         // sub-route class (O1TURN partitions VCs; see NetworkConfig).
         std::uint32_t lo = 0;
         std::uint32_t hi = vcs;
         config_.vc_range(head.yx, lo, hi);
+        const std::size_t obase = base + out_port_[idx] * vcs;
         for (std::uint32_t ov = lo; ov < hi; ++ov) {
-          OutputVc& ovc = out_vc(ivc.out_port, ov);
-          if (!ovc.allocated) {
-            ovc.allocated = true;
-            ivc.out_vc = ov;
-            ivc.out_vc_valid = true;
-            ++activity_.vc_allocations;
+          if (!out_allocated_[obase + ov]) {
+            out_allocated_[obase + ov] = 1;
+            out_vc_[idx] = static_cast<std::uint8_t>(ov);
+            out_vc_valid_[idx] = 1;
+            ++act.vc_allocations;
             break;
           }
         }
       }
     }
+    if (route_valid_[idx] && out_vc_valid_[idx] &&
+        head.enqueued + config_.router_pipeline <= now &&
+        out_credits_[base + out_port_[idx] * vcs + out_vc_[idx]] > 0) {
+      requests[out_port_[idx]] |= 1ull << slot;
+    }
   }
 
   // --- Separable switch allocation: each output port grants one input VC,
   // each input port issues at most one flit.
-  std::array<bool, kNumPorts> input_busy{};
+  const std::size_t slots = vc_slots_;
+  std::uint64_t busy_inputs = 0;  // VC slots of input ports already granted
   for (std::size_t op = 0; op < kNumPorts; ++op) {
-    const std::size_t slots = kNumPorts * vcs;
-    std::uint32_t& rr = rr_pointer_[op];
+    const std::uint64_t eligible = requests[op] & ~busy_inputs;
+    if (eligible == 0) continue;
+    std::uint32_t& rr = rr_pointer_[router * kNumPorts + op];
 
-    auto eligible = [&](std::size_t slot) -> bool {
-      const auto ip = static_cast<PortDir>(slot / vcs);
-      const auto iv = static_cast<std::uint32_t>(slot % vcs);
-      if (input_busy[port_index(ip)]) return false;
-      const InputVc& ivc = in_vc(ip, iv);
-      if (ivc.buffer.empty() || !ivc.route_valid || !ivc.out_vc_valid) {
-        return false;
-      }
-      if (port_index(ivc.out_port) != op) return false;
-      if (ivc.buffer.front().enqueued + config_.router_pipeline > now) {
-        return false;
-      }
-      return outputs_[op * vcs + ivc.out_vc].credits > 0;
-    };
-
-    // Pick the winner slot per the configured policy.
-    std::size_t winner = slots;  // sentinel: no grant
+    std::size_t winner;
     if (config_.arbitration == Arbitration::kRoundRobin) {
-      for (std::size_t offset = 0; offset < slots; ++offset) {
-        const std::size_t slot = (rr + offset) % slots;
-        if (eligible(slot)) {
-          winner = slot;
-          break;
-        }
-      }
+      // First eligible slot at or after the round-robin pointer, wrapping.
+      const std::uint64_t ahead = eligible & (~0ull << rr);
+      winner = static_cast<std::size_t>(
+          std::countr_zero(ahead != 0 ? ahead : eligible));
     } else {
       // Distance-weighted (PDBA-lite): sample among the eligible
       // candidates with probability proportional to 1 + hops travelled,
@@ -156,68 +184,69 @@ void Router::tick(Cycle now, std::vector<Departure>& out) {
       std::array<std::size_t, 64> candidates{};  // kNumPorts * vcs <= 64
       std::array<double, 64> weights{};
       std::size_t count = 0;
-      for (std::size_t slot = 0; slot < slots && count < 64; ++slot) {
-        if (!eligible(slot)) continue;
-        const auto ip = static_cast<PortDir>(slot / vcs);
-        const auto iv = static_cast<std::uint32_t>(slot % vcs);
+      std::uint64_t scan = eligible;
+      while (scan) {
+        const auto slot = static_cast<std::size_t>(std::countr_zero(scan));
+        scan &= scan - 1;
+        const std::size_t idx = base + slot;
         const double w =
-            1.0 + static_cast<double>(in_vc(ip, iv).buffer.front().hops);
+            1.0 + static_cast<double>(
+                      pool_[idx * depth_ + fifo_head_[idx]].hops);
         candidates[count] = slot;
         weights[count] = w;
         total_weight += w;
         ++count;
       }
-      if (count > 0) {
-        double pick = arbiter_rng_.uniform(0.0, total_weight);
-        winner = candidates[count - 1];
-        for (std::size_t c = 0; c < count; ++c) {
-          pick -= weights[c];
-          if (pick <= 0.0) {
-            winner = candidates[c];
-            break;
-          }
+      double pick = arbiter_rng_[router].uniform(0.0, total_weight);
+      winner = candidates[count - 1];
+      for (std::size_t c = 0; c < count; ++c) {
+        pick -= weights[c];
+        if (pick <= 0.0) {
+          winner = candidates[c];
+          break;
         }
       }
     }
-    if (winner == slots) continue;
 
-    const auto ip = static_cast<PortDir>(winner / vcs);
-    const auto iv = static_cast<std::uint32_t>(winner % vcs);
-    InputVc& ivc = in_vc(ip, iv);
-    const Flit& flit = ivc.buffer.front();
-    OutputVc& ovc = out_vc(ivc.out_port, ivc.out_vc);
+    const std::size_t idx = base + winner;
+    const std::size_t ip = winner / vcs;
+    const std::size_t ovidx = base + out_port_[idx] * vcs + out_vc_[idx];
+    const Flit& flit = pool_[idx * depth_ + fifo_head_[idx]];
 
     // Grant: switch traversal.
-    --ovc.credits;
-    input_busy[port_index(ip)] = true;
-    ++activity_.sw_arbitrations;
-    ++activity_.buffer_reads;
-    ++activity_.crossbar_traversals;
-    activity_.queue_wait_cycles +=
-        now - (flit.enqueued + config_.router_pipeline);
+    --out_credits_[ovidx];
+    busy_inputs |= port_slot_mask_[ip];
+    ++act.sw_arbitrations;
+    ++act.buffer_reads;
+    ++act.crossbar_traversals;
+    act.queue_wait_cycles += now - (flit.enqueued + config_.router_pipeline);
 
     Departure dep;
-    dep.out_port = ivc.out_port;
-    dep.out_vc = ivc.out_vc;
-    dep.in_port = ip;
-    dep.in_vc = iv;
+    dep.out_port = static_cast<PortDir>(out_port_[idx]);
+    dep.out_vc = out_vc_[idx];
+    dep.in_port = static_cast<PortDir>(ip);
+    dep.in_vc = static_cast<std::uint32_t>(winner % vcs);
     dep.flit = flit;
-    ivc.buffer.pop_front();
+
+    // Pop the ring-buffer front.
+    std::uint32_t head_next = fifo_head_[idx] + 1;
+    if (head_next == depth_) head_next = 0;
+    fifo_head_[idx] = head_next;
+    if (--fifo_size_[idx] == 0) nonempty_mask_[router] &= ~(1ull << winner);
+    --buffered_[router];
 
     if (dep.flit.is_tail) {
-      ovc.allocated = false;
-      ivc.route_valid = false;
-      ivc.out_vc_valid = false;
+      out_allocated_[ovidx] = 0;
+      route_valid_[idx] = 0;
+      out_vc_valid_[idx] = 0;
     }
     out.push_back(dep);
     rr = static_cast<std::uint32_t>((winner + 1) % slots);
   }
 }
 
-std::size_t Router::buffered_flits() const {
-  std::size_t total = 0;
-  for (const auto& ivc : inputs_) total += ivc.buffer.size();
-  return total;
+void RouterEngine::reset_activity() {
+  for (auto& a : activity_) a = ActivityCounters{};
 }
 
 }  // namespace nocmap

@@ -20,11 +20,18 @@
 // The 3-stage pipeline is modelled as a minimum residence time: a flit that
 // entered an input buffer at cycle t is eligible for switch allocation from
 // t + router_pipeline.
+//
+// Storage is structure-of-arrays across *all* routers of a mesh
+// (RouterEngine): one flat ring-buffer flit pool plus parallel state arrays
+// indexed by (router, port, vc), so the per-cycle loop touches contiguous
+// memory and never allocates. Occupancy bitmasks (one bit per input VC
+// slot, ≤ 64 slots per router) drive both the RC/VA pass and the separable
+// switch allocator, and an active-router bitmask lets the network skip
+// idle routers entirely — an idle router's tick changes no state, so the
+// skip is exact, not approximate. DESIGN.md §12 documents the engine.
 #pragma once
 
 #include <array>
-#include <deque>
-#include <optional>
 #include <vector>
 
 #include "netsim/types.h"
@@ -57,65 +64,134 @@ struct Departure {
   Flit flit;
 };
 
-class Router {
+/// Structure-of-arrays router state for `num_routers` consecutive tiles
+/// starting at `first_tile`. The Network runs one engine for the whole mesh
+/// (router index == TileId); the standalone Router below wraps a one-router
+/// engine for unit tests and micro-level studies.
+class RouterEngine {
  public:
-  Router(TileId id, const Mesh& mesh, const NetworkConfig& config);
+  RouterEngine(const Mesh& mesh, const NetworkConfig& config,
+               std::size_t num_routers, TileId first_tile);
 
-  TileId id() const { return id_; }
+  std::size_t num_routers() const { return num_routers_; }
 
   /// True if the input VC has buffer space for one more flit.
-  bool can_accept(PortDir port, std::uint32_t vc) const;
+  bool can_accept(std::size_t router, PortDir port, std::uint32_t vc) const;
 
-  /// Deposits a flit into an input VC buffer at cycle `now`.
-  /// Precondition: can_accept(port, vc).
-  void receive_flit(PortDir port, std::uint32_t vc, const Flit& flit,
-                    Cycle now);
+  /// Deposits a flit into an input VC buffer at cycle `now` and marks the
+  /// router active. Precondition: can_accept(router, port, vc).
+  void receive_flit(std::size_t router, PortDir port, std::uint32_t vc,
+                    const Flit& flit, Cycle now);
 
   /// Returns one credit to the output unit (port, vc): a downstream buffer
   /// slot was freed.
-  void receive_credit(PortDir port, std::uint32_t vc);
+  void receive_credit(std::size_t router, PortDir port, std::uint32_t vc);
 
   /// Performs VC allocation + switch allocation + switch traversal for one
-  /// cycle; appends departures to `out`. The network routes each departure
-  /// over the corresponding link and returns the credit upstream.
-  void tick(Cycle now, std::vector<Departure>& out);
+  /// cycle; appends departures to `out` in output-port order.
+  void tick(std::size_t router, Cycle now, std::vector<Departure>& out);
 
-  const ActivityCounters& activity() const { return activity_; }
-  void reset_activity() { activity_ = {}; }
+  const ActivityCounters& activity(std::size_t router) const {
+    return activity_[router];
+  }
+  void reset_activity();
 
   /// Total flits currently buffered (drain/conservation checks).
-  std::size_t buffered_flits() const;
+  std::size_t buffered_flits(std::size_t router) const {
+    return buffered_[router];
+  }
+
+  // --- Active-router worklist. A router is activated by every flit
+  // deposit; the caller retires it after a tick that leaves its buffers
+  // empty. Words are iterated low-to-high, so scanning set bits visits
+  // routers in ascending index order — the same order as a dense loop,
+  // which keeps ejection and event push order (and therefore floating-point
+  // accumulation order downstream) identical to ticking every router.
+  std::size_t num_active_words() const { return active_words_.size(); }
+  std::uint64_t active_word(std::size_t w) const { return active_words_[w]; }
+  void retire_if_idle(std::size_t router) {
+    if (buffered_[router] == 0) {
+      active_words_[router >> 6] &= ~(1ull << (router & 63));
+    }
+  }
 
  private:
-  struct InputVc {
-    std::deque<Flit> buffer;
-    bool route_valid = false;
-    PortDir out_port = PortDir::kLocal;
-    bool out_vc_valid = false;
-    std::uint32_t out_vc = 0;
-  };
+  /// Dimension-order route for a destination from `router` (X-first, or
+  /// Y-first when the flit carries the YX sub-route).
+  PortDir route(std::size_t router, TileId dst, bool yx) const;
 
-  struct OutputVc {
-    bool allocated = false;
-    std::uint32_t credits = 0;
-  };
+  /// Index into the per-input-VC arrays.
+  std::size_t vc_index(std::size_t router, std::size_t port,
+                       std::uint32_t vc) const {
+    return (router * kNumPorts + port) * vcs_ + vc;
+  }
 
-  /// Dimension-order route for the flit's destination from this router
-  /// (X-first, or Y-first when the flit carries the YX sub-route).
-  PortDir route(TileId dst, bool yx) const;
-
-  InputVc& in_vc(PortDir port, std::uint32_t vc);
-  const InputVc& in_vc(PortDir port, std::uint32_t vc) const;
-  OutputVc& out_vc(PortDir port, std::uint32_t vc);
-
-  TileId id_;
   const Mesh* mesh_;
   NetworkConfig config_;
-  std::vector<InputVc> inputs_;    // [port][vc] flattened
-  std::vector<OutputVc> outputs_;  // [port][vc] flattened
-  std::array<std::uint32_t, kNumPorts> rr_pointer_{};  // per output port
-  Rng arbiter_rng_{0};  // distance-weighted arbitration draws
-  ActivityCounters activity_;
+  std::size_t num_routers_ = 0;
+  std::uint32_t vcs_ = 0;
+  std::uint32_t depth_ = 0;
+  std::size_t vc_slots_ = 0;  ///< kNumPorts * vcs_: VC slots per router
+
+  // Per input VC (flattened [router][port][vc]): ring-buffer cursors into
+  // the flit pool plus the held route / output-VC claim.
+  std::vector<Flit> pool_;  ///< [router][port][vc][depth_] ring storage
+  std::vector<std::uint32_t> fifo_head_;
+  std::vector<std::uint32_t> fifo_size_;
+  std::vector<std::uint8_t> route_valid_;
+  std::vector<std::uint8_t> out_port_;
+  std::vector<std::uint8_t> out_vc_valid_;
+  std::vector<std::uint8_t> out_vc_;
+
+  // Per output VC (same flattening): wormhole allocation + credits.
+  std::vector<std::uint8_t> out_allocated_;
+  std::vector<std::uint32_t> out_credits_;
+
+  // Per (router, output port): round-robin pointer over input VC slots.
+  std::vector<std::uint32_t> rr_pointer_;
+
+  // Per router.
+  std::vector<std::uint64_t> nonempty_mask_;  ///< bit per occupied VC slot
+  std::vector<std::uint32_t> buffered_;
+  std::vector<ActivityCounters> activity_;
+  std::vector<Rng> arbiter_rng_;      ///< distance-weighted draws
+  std::vector<TileCoord> coord_;      ///< cached mesh coordinates
+  std::array<std::uint64_t, kNumPorts> port_slot_mask_{};
+
+  std::vector<std::uint64_t> active_words_;
+};
+
+/// One router viewed in isolation: the unit-test / single-tile facade over
+/// a one-router engine. Same cycle-exact behaviour as a router embedded in
+/// a Network's engine.
+class Router {
+ public:
+  Router(TileId id, const Mesh& mesh, const NetworkConfig& config)
+      : id_(id), engine_(mesh, config, 1, id) {}
+
+  TileId id() const { return id_; }
+
+  bool can_accept(PortDir port, std::uint32_t vc) const {
+    return engine_.can_accept(0, port, vc);
+  }
+  void receive_flit(PortDir port, std::uint32_t vc, const Flit& flit,
+                    Cycle now) {
+    engine_.receive_flit(0, port, vc, flit, now);
+  }
+  void receive_credit(PortDir port, std::uint32_t vc) {
+    engine_.receive_credit(0, port, vc);
+  }
+  void tick(Cycle now, std::vector<Departure>& out) {
+    engine_.tick(0, now, out);
+  }
+
+  const ActivityCounters& activity() const { return engine_.activity(0); }
+  void reset_activity() { engine_.reset_activity(); }
+  std::size_t buffered_flits() const { return engine_.buffered_flits(0); }
+
+ private:
+  TileId id_;
+  RouterEngine engine_;
 };
 
 }  // namespace nocmap

@@ -23,17 +23,10 @@ const obs::Gauge g_link_util("netsim.max_link_utilization");
 const obs::Gauge g_crossbar("netsim.max_crossbar_per_cycle");
 const obs::Gauge g_queue_wait("netsim.max_avg_queue_wait");
 const obs::Gauge g_occupancy("netsim.max_queue_occupancy");
-
-/// Directed inter-router links in a rows×cols mesh (torus wrap links
-/// included when present): each adjacent pair contributes one link per
-/// direction.
-std::uint64_t num_directed_links(const Mesh& mesh) {
-  const std::uint64_t r = mesh.rows();
-  const std::uint64_t c = mesh.cols();
-  std::uint64_t undirected = r * (c - 1) + c * (r - 1);
-  if (mesh.is_torus()) undirected += r + c;  // wraparound links
-  return 2 * undirected;
-}
+// Batch metrics: one batch == one run_simulation_batch call.
+const obs::Timer t_batch("netsim.batch.run");
+const obs::Counter c_batches("netsim.batch.batches");
+const obs::Counter c_batch_scenarios("netsim.batch.scenarios");
 
 RouterLoadSummary summarize_load(const Network& net, const Mesh& mesh,
                                  Cycle measured) {
@@ -43,7 +36,8 @@ RouterLoadSummary summarize_load(const Network& net, const Mesh& mesh,
   const std::size_t tiles = mesh.num_tiles();
   double crossbar_sum = 0.0;
   for (std::size_t t = 0; t < tiles; ++t) {
-    const ActivityCounters& a = net.router_activity(static_cast<TileId>(t));
+    const ActivityCounters& a =
+        net.measured_router_activity(static_cast<TileId>(t));
     const double per_cycle = static_cast<double>(a.crossbar_traversals) /
                              cycles;
     crossbar_sum += per_cycle;
@@ -60,12 +54,26 @@ RouterLoadSummary summarize_load(const Network& net, const Mesh& mesh,
   load.mean_crossbar_per_cycle =
       crossbar_sum / static_cast<double>(tiles);
   load.link_utilization =
-      static_cast<double>(net.total_activity().link_traversals) /
+      static_cast<double>(net.measured_total_activity().link_traversals) /
       (static_cast<double>(num_directed_links(mesh)) * cycles);
   return load;
 }
 
 }  // namespace
+
+std::uint64_t num_directed_links(const Mesh& mesh) {
+  const std::uint64_t r = mesh.rows();
+  const std::uint64_t c = mesh.cols();
+  std::uint64_t undirected = r * (c - 1) + c * (r - 1);
+  if (mesh.is_torus()) {
+    // A wrap link is a *distinct* adjacent pair only when the wrapped
+    // dimension has >= 3 tiles: at width 2 the wrap connects the same two
+    // tiles as the existing mesh link, and at width 1 it is a self-loop.
+    if (c >= 3) undirected += r;  // one horizontal wrap per row
+    if (r >= 3) undirected += c;  // one vertical wrap per column
+  }
+  return 2 * undirected;
+}
 
 SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
                          const SimConfig& config) {
@@ -105,23 +113,36 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
     }
   };
 
-  // --- Warmup + measurement.
-  for (Cycle cycle = 0; cycle < measure_end; ++cycle) {
-    if (cycle == measure_start) net.reset_activity();
+  // --- Warmup: latency samples and activity are discarded (record() drops
+  // anything created before measure_start).
+  Cycle cycle = 0;
+  for (; cycle < measure_start; ++cycle) {
+    locals.clear();
+    traffic.generate(net, cycle, locals);
+    net.step();
+    drain_ejections(net.now());
+  }
+  // Resetting between the loops (not on a cycle == measure_start test
+  // inside a combined loop) also covers measure_cycles == 0, which
+  // previously never reset and leaked warmup activity into the result.
+  net.reset_activity();
+
+  // --- Measurement window.
+  for (; cycle < measure_end; ++cycle) {
     locals.clear();
     traffic.generate(net, cycle, locals);
     for (const LocalAccess& la : locals) {
       record(la.app, la.cls, 0.0, cycle);
-      if (cycle >= measure_start && cycle < measure_end) {
-        ++result.local_accesses;
-      }
+      ++result.local_accesses;
     }
     net.step();
     drain_ejections(net.now());
   }
-  result.activity = net.total_activity();
-  result.load = summarize_load(net, problem.mesh(), config.measure_cycles);
-  result.measured_cycles = config.measure_cycles;
+  // Freeze the window's per-router counters: the drain below keeps moving
+  // flits, and its activity must not inflate the load summary.
+  net.snapshot_activity();
+  result.activity = net.measured_total_activity();
+  result.measured_cycles = measure_end - measure_start;
 
   // --- Drain: stop creating requests, let replies and in-flight packets
   // finish so no measured packet is censored.
@@ -138,6 +159,7 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
   result.drain_incomplete =
       net.packets_in_flight() > 0 || !traffic.idle();
   result.activity_with_drain = net.total_activity();
+  result.load = summarize_load(net, problem.mesh(), result.measured_cycles);
 
   // --- Aggregate metrics.
   result.apl.resize(num_apps, 0.0);
@@ -168,6 +190,25 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
   g_queue_wait.set_max(result.load.max_avg_queue_wait);
   g_occupancy.set_max(result.load.max_queue_occupancy);
   return result;
+}
+
+std::vector<SimResult> run_simulation_batch(
+    const std::vector<BatchScenario>& scenarios,
+    const ParallelConfig& parallel) {
+  const obs::ScopedTimer batch_scope(t_batch);
+  for (const BatchScenario& s : scenarios) {
+    NOCMAP_REQUIRE(s.problem != nullptr && s.mapping != nullptr,
+                   "batch scenario needs a problem and a mapping");
+  }
+  std::vector<SimResult> results(scenarios.size());
+  ParallelTrialRunner runner(parallel);
+  runner.for_each(scenarios.size(), [&](std::size_t i) {
+    const BatchScenario& s = scenarios[i];
+    results[i] = run_simulation(*s.problem, *s.mapping, s.config);
+  });
+  c_batches.add();
+  c_batch_scenarios.add(scenarios.size());
+  return results;
 }
 
 }  // namespace nocmap

@@ -4,11 +4,14 @@
 //
 // Protocol: a warmup window (activity and latency samples discarded), a
 // measurement window, then a drain phase (no new requests; in-flight packets
-// finish so measured packets are not censored).
+// finish so measured packets are not censored). Per-router activity is
+// snapshotted at the end of the measurement window, so drain traffic can
+// never inflate the per-cycle load summary.
 #pragma once
 
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/problem.h"
 #include "netsim/traffic.h"
 #include "util/stats.h"
@@ -27,6 +30,13 @@ struct SimConfig {
   TrafficConfig traffic;
   NetworkConfig network;
 };
+
+/// Directed inter-router links in the mesh: each adjacent tile pair
+/// contributes one link per direction. Torus wrap links only count where
+/// the wrapped dimension has >= 3 tiles — at width 2 the wrap coincides
+/// with the existing adjacent-pair link and at width 1 it is a self-loop,
+/// so counting it would deflate link_utilization.
+std::uint64_t num_directed_links(const Mesh& mesh);
 
 /// Measurement-window load digest across routers and links — the netsim
 /// counters surfaced through RunReports (docs/metrics-schema.md). All rates
@@ -73,7 +83,8 @@ struct SimResult {
     return per_app_histogram.at(app).percentile(p);
   }
 
-  /// Fabric activity during the measurement window (for DSENT-lite).
+  /// Fabric activity during the measurement window (for DSENT-lite),
+  /// snapshotted at the window's end before any drain traffic.
   ActivityCounters activity;
   /// Activity from the last reset (measurement start) through the end of
   /// the drain phase. With warmup_cycles == 0 this covers the whole run, so
@@ -84,8 +95,11 @@ struct SimResult {
   ///   crossbar_traversals == link_traversals + flits_ejected
   ///   buffer_writes       == flits_injected + link_traversals
   ActivityCounters activity_with_drain;
-  /// Per-router / per-link load digest over the same window.
+  /// Per-router / per-link load digest over the same window (computed from
+  /// the measurement-window snapshot; unaffected by drain length).
   RouterLoadSummary load;
+  /// Cycles actually simulated inside the measurement window (the divisor
+  /// of every per-cycle rate above; 0 when the window is empty).
   Cycle measured_cycles = 0;
 
   std::uint64_t packets_measured = 0;
@@ -102,5 +116,23 @@ struct SimResult {
 /// (problem, mapping, config).
 SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
                          const SimConfig& config);
+
+/// One element of a simulation batch. The problem and mapping must outlive
+/// the run_simulation_batch call.
+struct BatchScenario {
+  const ObmProblem* problem = nullptr;
+  const Mapping* mapping = nullptr;
+  SimConfig config;
+};
+
+/// Runs every scenario through run_simulation, sharding the batch across
+/// the parallel runner (src/core/parallel.h discipline: fixed geometry,
+/// pure units, slotted results). Results are index-aligned with the input
+/// and bit-identical at any worker count — each scenario is itself
+/// deterministic and writes only its own slot, so the merge is the
+/// identity.
+std::vector<SimResult> run_simulation_batch(
+    const std::vector<BatchScenario>& scenarios,
+    const ParallelConfig& parallel);
 
 }  // namespace nocmap

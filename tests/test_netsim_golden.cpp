@@ -1,0 +1,204 @@
+// Golden-equivalence gate for the netsim engine: every scenario below must
+// reproduce, bit for bit, the per-app APLs and exact packet/flit counts the
+// original per-router/per-flit heap engine produced (captured before the
+// structure-of-arrays rewrite; see DESIGN.md §12). The scenarios span
+// routing algorithms, arbitration policies, burstiness, coherence
+// forwarding, micro-architecture corners (1 VC / depth 1 / 2-cycle links),
+// congestion, a zero-warmup run, and a paper-scale 8×8 SSS mapping, so any
+// change to tick ordering, arbitration RNG draws, or accumulation order
+// shows up as a hexfloat mismatch.
+//
+// If an *intentional* behaviour change lands, re-capture the table with the
+// probe documented in DESIGN.md §12 and justify the diff in the PR.
+#include "netsim/sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sss_mapper.h"
+#include "workload/synthesis.h"
+
+namespace nocmap {
+namespace {
+
+ObmProblem small_problem() {
+  const Mesh mesh = Mesh::square(4);
+  std::vector<Application> apps(2);
+  apps[0].name = "light";
+  apps[0].threads.assign(8, ThreadProfile{2.0, 0.3});
+  apps[1].name = "heavy";
+  apps[1].threads.assign(8, ThreadProfile{8.0, 1.0});
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    Workload(std::move(apps)));
+}
+
+struct GoldenCase {
+  const char* tag;
+  std::vector<double> apl;  // per-app, hexfloat-exact
+  double max_apl;
+  double dev_apl;
+  double g_apl;
+  std::uint64_t packets_measured;
+  std::uint64_t local_accesses;
+  std::uint64_t flits_injected;
+  std::uint64_t flits_ejected;
+};
+
+// Captured from the seed engine (hexfloats are bit-exact doubles).
+const std::vector<GoldenCase>& golden_table() {
+  static const std::vector<GoldenCase> table = {
+      {"default-4x4",
+       {0x1.ea5f5682a5f5bp+3, 0x1.dfc65485b8cfdp+3},
+       0x1.ea5f5682a5f5bp+3, 0x1.53203f9da4bcp-3, 0x1.e1ede8bd85f53p+3,
+       3566, 316, 10302, 10302},
+      {"congested-8x",
+       {0x1.09a210bd6e321p+4, 0x1.1aa739b6eef32p+4},
+       0x1.1aa739b6eef32p+4, 0x1.10528f980c11p-1, 0x1.172db5f77ba19p+4,
+       28915, 2456, 83676, 83676},
+      {"bursty-3x",
+       {0x1.ed8fe44308aacp+3, 0x1.09bbee8274ef7p+4},
+       0x1.09bbee8274ef7p+4, 0x1.2f3fc60f09a1p-1, 0x1.053a07c3ce1d1p+4,
+       7451, 624, 21828, 21828},
+      {"o1turn-vc4",
+       {0x1.d9e4791e47926p+3, 0x1.f13d743c668a4p+3},
+       0x1.f13d743c668a4p+3, 0x1.758fb1e1ef7ep-2, 0x1.ec7e761158b15p+3,
+       3660, 282, 11166, 11166},
+      {"yx",
+       {0x1.eb6f46508dfebp+3, 0x1.e3345f38c44d7p+3},
+       0x1.eb6f46508dfebp+3, 0x1.075ce2f93628p-3, 0x1.e4f1fe8e5dd9fp+3,
+       1773, 142, 5442, 5442},
+      {"distance-weighted-4x",
+       {0x1.e9e2fe5046282p+3, 0x1.050bf7440a20fp+4},
+       0x1.050bf7440a20fp+4, 0x1.01a781be70cep-1, 0x1.01bc02c66ad79p+4,
+       7380, 570, 22578, 22578},
+      {"forwarding",
+       {0x1.d303f9303f93p+3, 0x1.d1e7cb4c7297bp+3},
+       0x1.d303f9303f93p+3, 0x1.1c2de3ccfb5p-6, 0x1.d2243138b3843p+3,
+       2122, 194, 5532, 5532},
+      {"vc1-d1-p1-l2",
+       {0x1.3ac7df24f66abp+4, 0x1.3de7d40d2f3e7p+4},
+       0x1.3de7d40d2f3e7p+4, 0x1.8ffa741c69ep-4, 0x1.3d3efd1c50e77p+4,
+       1772, 142, 5442, 5442},
+      {"no-warmup",
+       {0x1.fe86f65c1dfe6p+3, 0x1.de01ce103e91bp+3},
+       0x1.fe86f65c1dfe6p+3, 0x1.0429425efb658p-1, 0x1.e5233ab73151cp+3,
+       1090, 80, 3036, 3036},
+      {"c1-sss-8x8",
+       {0x1.987ea9d81bf6cp+4, 0x1.96755d60ffd9ep+4, 0x1.987228b448af5p+4,
+        0x1.9cad162ee6d15p+4},
+       0x1.9cad162ee6d15p+4, 0x1.22036d64defbep-3, 0x1.99fbf2b28408p+4,
+       20091, 410, 65244, 65244},
+  };
+  return table;
+}
+
+SimConfig config_for(const char* tag) {
+  SimConfig c;
+  c.warmup_cycles = 1000;
+  c.measure_cycles = 20000;
+  const std::string t = tag;
+  if (t == "congested-8x") {
+    c.traffic.injection_scale = 8.0;
+  } else if (t == "bursty-3x") {
+    c.measure_cycles = 15000;
+    c.traffic.injection_scale = 3.0;
+    c.traffic.bursty = true;
+    c.traffic.burst_duty = 0.25;
+  } else if (t == "o1turn-vc4") {
+    c.measure_cycles = 10000;
+    c.network.routing = RoutingAlgo::kO1Turn;
+    c.network.vcs_per_port = 4;
+    c.traffic.injection_scale = 2.0;
+  } else if (t == "yx") {
+    c.measure_cycles = 10000;
+    c.network.routing = RoutingAlgo::kYX;
+  } else if (t == "distance-weighted-4x") {
+    c.measure_cycles = 10000;
+    c.network.arbitration = Arbitration::kDistanceWeighted;
+    c.traffic.injection_scale = 4.0;
+  } else if (t == "forwarding") {
+    c.measure_cycles = 10000;
+    c.traffic.forward_probability = 0.5;
+  } else if (t == "vc1-d1-p1-l2") {
+    c.measure_cycles = 10000;
+    c.network.vcs_per_port = 1;
+    c.network.buffer_depth = 1;
+    c.network.router_pipeline = 1;
+    c.network.link_latency = 2;
+  } else if (t == "no-warmup") {
+    c.warmup_cycles = 0;
+    c.measure_cycles = 6000;
+  } else if (t == "c1-sss-8x8") {
+    c.warmup_cycles = 2000;
+    c.measure_cycles = 20000;
+  }
+  return c;
+}
+
+void expect_matches(const SimResult& r, const GoldenCase& g) {
+  ASSERT_EQ(r.apl.size(), g.apl.size());
+  for (std::size_t a = 0; a < g.apl.size(); ++a) {
+    EXPECT_EQ(r.apl[a], g.apl[a]) << "app " << a;
+  }
+  EXPECT_EQ(r.max_apl, g.max_apl);
+  EXPECT_EQ(r.dev_apl, g.dev_apl);
+  EXPECT_EQ(r.g_apl, g.g_apl);
+  EXPECT_EQ(r.packets_measured, g.packets_measured);
+  EXPECT_EQ(r.local_accesses, g.local_accesses);
+  EXPECT_EQ(r.flits_injected, g.flits_injected);
+  EXPECT_EQ(r.flits_ejected, g.flits_ejected);
+}
+
+TEST(NetsimGolden, SmallProblemScenariosAreBitIdenticalToSeedEngine) {
+  const ObmProblem p = small_problem();
+  const Mapping id16 = p.identity_mapping();
+  for (const GoldenCase& g : golden_table()) {
+    if (std::string(g.tag) == "c1-sss-8x8") continue;
+    SCOPED_TRACE(g.tag);
+    expect_matches(run_simulation(p, id16, config_for(g.tag)), g);
+  }
+}
+
+TEST(NetsimGolden, PaperScaleSssMappingIsBitIdenticalToSeedEngine) {
+  const Mesh mesh = Mesh::square(8);
+  const ObmProblem p(TileLatencyModel(mesh, LatencyParams{}),
+                     synthesize_workload(parsec_config("C1"), 20140519));
+  SortSelectSwapMapper sss;
+  const Mapping m = sss.map(p);
+  const GoldenCase& g = golden_table().back();
+  ASSERT_STREQ(g.tag, "c1-sss-8x8");
+  expect_matches(run_simulation(p, m, config_for(g.tag)), g);
+}
+
+// The batch API must agree exactly with serial run_simulation calls — a
+// batch is a pure fan-out with slotted results, so this holds at any
+// worker count (test_parallel_determinism covers 1/2/8 workers).
+TEST(NetsimGolden, BatchMatchesSerialRuns) {
+  const ObmProblem p = small_problem();
+  const Mapping id16 = p.identity_mapping();
+  const char* tags[] = {"default-4x4", "yx", "forwarding"};
+  std::vector<SimConfig> configs;
+  std::vector<BatchScenario> batch;
+  for (const char* tag : tags) configs.push_back(config_for(tag));
+  for (const SimConfig& c : configs) batch.push_back({&p, &id16, c});
+
+  ParallelConfig serial;
+  serial.num_threads = 1;
+  const std::vector<SimResult> results = run_simulation_batch(batch, serial);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(tags[i]);
+    const SimResult direct = run_simulation(p, id16, configs[i]);
+    ASSERT_EQ(results[i].apl.size(), direct.apl.size());
+    for (std::size_t a = 0; a < direct.apl.size(); ++a) {
+      EXPECT_EQ(results[i].apl[a], direct.apl[a]);
+    }
+    EXPECT_EQ(results[i].g_apl, direct.g_apl);
+    EXPECT_EQ(results[i].packets_measured, direct.packets_measured);
+    EXPECT_EQ(results[i].flits_injected, direct.flits_injected);
+  }
+}
+
+}  // namespace
+}  // namespace nocmap

@@ -110,6 +110,30 @@ INSTANTIATE_TEST_SUITE_P(
                       ParamCase{8, 5, 3, 4}, ParamCase{2, 1, 2, 1}),
     case_name);
 
+// Link counting feeds link_utilization's denominator. Torus wrap links are
+// distinct only when the wrapped dimension has >= 3 tiles: at width 2 the
+// wrap joins the same two tiles as the existing mesh link (a double-counted
+// pair would silently deflate utilization), and at width 1 it would be a
+// self-loop.
+TEST(NetParams, DirectedLinkCountHandlesDegenerateTorusWidths) {
+  // Plain meshes: 2 * (r*(c-1) + c*(r-1)).
+  EXPECT_EQ(num_directed_links(Mesh(4, 4, {0})), 48u);
+  EXPECT_EQ(num_directed_links(Mesh(2, 4, {0})), 20u);
+  EXPECT_EQ(num_directed_links(Mesh(1, 4, {0})), 6u);
+
+  // Full-size torus: one extra wrap per row and per column.
+  EXPECT_EQ(num_directed_links(Mesh(4, 4, {0}, Wraparound::kTorus)), 64u);
+  EXPECT_EQ(num_directed_links(Mesh(3, 3, {0}, Wraparound::kTorus)), 36u);
+
+  // Degenerate widths: a 2-wide dimension's wrap duplicates an existing
+  // link; a 1-wide dimension's wrap is a self-loop. Neither adds links.
+  EXPECT_EQ(num_directed_links(Mesh(2, 4, {0}, Wraparound::kTorus)), 24u);
+  EXPECT_EQ(num_directed_links(Mesh(4, 2, {0}, Wraparound::kTorus)), 24u);
+  EXPECT_EQ(num_directed_links(Mesh(2, 2, {0}, Wraparound::kTorus)), 8u);
+  EXPECT_EQ(num_directed_links(Mesh(1, 4, {0}, Wraparound::kTorus)), 8u);
+  EXPECT_EQ(num_directed_links(Mesh(1, 2, {0}, Wraparound::kTorus)), 2u);
+}
+
 // Deeper buffers / more VCs must not hurt latency under contention.
 TEST(NetParams, MoreBuffersHelpUnderLoad) {
   const Mesh mesh = Mesh::square(4);

@@ -20,6 +20,7 @@
 #include "core/metrics.h"
 #include "core/monte_carlo_mapper.h"
 #include "core/sss_mapper.h"
+#include "netsim/sim.h"
 #include "workload/synthesis.h"
 
 namespace nocmap {
@@ -185,6 +186,63 @@ TEST(ParallelDeterminismSa, MoreRestartsNeverWorse) {
   const double obj4 = evaluate(p, AnnealingMapper(four).map(p)).objective;
   EXPECT_LE(obj4, obj2 + 1e-12);
   (void)one;
+}
+
+// ---------------------------------------------------------------------------
+// Netsim batches: each scenario is a pure, deterministic unit writing only
+// its own result slot, so a batch's per-app APL vectors and latency
+// histograms must be byte-identical at any worker count.
+
+TEST(ParallelDeterminismNetsim, BatchAcrossWorkerCounts) {
+  const ObmProblem p = seeded_problem(4, 2);
+  const Mapping id = p.identity_mapping();
+
+  std::vector<SimConfig> configs(4);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].warmup_cycles = 500;
+    configs[i].measure_cycles = 4000;
+    configs[i].traffic.injection_scale = 1.0 + static_cast<double>(i);
+  }
+  std::vector<BatchScenario> batch;
+  for (const SimConfig& c : configs) batch.push_back({&p, &id, c});
+
+  const std::vector<SimResult> serial =
+      run_simulation_batch(batch, ParallelConfig::serial_config());
+  ASSERT_EQ(serial.size(), batch.size());
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const std::vector<SimResult> parallel =
+        run_simulation_batch(batch, ParallelConfig{workers, true});
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("scenario " + std::to_string(i) + " at " +
+                   std::to_string(workers) + " workers");
+      const SimResult& s = serial[i];
+      const SimResult& q = parallel[i];
+      ASSERT_EQ(q.apl.size(), s.apl.size());
+      for (std::size_t a = 0; a < s.apl.size(); ++a) {
+        EXPECT_EQ(q.apl[a], s.apl[a]) << "app " << a;
+      }
+      EXPECT_EQ(q.max_apl, s.max_apl);
+      EXPECT_EQ(q.dev_apl, s.dev_apl);
+      EXPECT_EQ(q.g_apl, s.g_apl);
+      EXPECT_EQ(q.packets_measured, s.packets_measured);
+      EXPECT_EQ(q.flits_injected, s.flits_injected);
+      EXPECT_EQ(q.flits_ejected, s.flits_ejected);
+      ASSERT_EQ(q.per_app_histogram.size(), s.per_app_histogram.size());
+      for (std::size_t a = 0; a < s.per_app_histogram.size(); ++a) {
+        const Histogram& hs = s.per_app_histogram[a];
+        const Histogram& hq = q.per_app_histogram[a];
+        ASSERT_EQ(hq.bins(), hs.bins());
+        EXPECT_EQ(hq.total(), hs.total());
+        for (std::size_t b = 0; b < hs.bins(); ++b) {
+          EXPECT_EQ(hq.bin_count(b), hs.bin_count(b))
+              << "app " << a << " bin " << b;
+        }
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -135,6 +135,63 @@ TEST(Sim, ActivityCountersPopulated) {
   EXPECT_EQ(r.measured_cycles, quick_config().measure_cycles);
 }
 
+// An empty measurement window must report zero everything: the activity
+// reset used to fire only on a `cycle == measure_start` test inside the
+// warmup+measure loop, so measure_cycles == 0 skipped the reset and leaked
+// all warmup activity (thousands of buffer writes) into the result.
+TEST(Sim, EmptyMeasurementWindowReportsZeroActivity) {
+  const ObmProblem p = small_problem();
+  SimConfig c = quick_config();
+  c.measure_cycles = 0;
+  const SimResult r = run_simulation(p, p.identity_mapping(), c);
+  EXPECT_EQ(r.measured_cycles, 0u);
+  EXPECT_EQ(r.packets_measured, 0u);
+  EXPECT_EQ(r.local_accesses, 0u);
+  EXPECT_EQ(r.activity.buffer_writes, 0u);
+  EXPECT_EQ(r.activity.crossbar_traversals, 0u);
+  EXPECT_EQ(r.activity.link_traversals, 0u);
+  EXPECT_DOUBLE_EQ(r.load.max_crossbar_per_cycle, 0.0);
+  EXPECT_DOUBLE_EQ(r.load.link_utilization, 0.0);
+}
+
+// The measurement-window activity and load summary are snapshotted at the
+// window's end, so the drain phase — however long it runs — cannot inflate
+// them. Heavy bursty load leaves plenty of in-flight traffic at the window
+// boundary, making the drain long enough to expose any leak.
+TEST(Sim, DrainLengthDoesNotAffectMeasuredActivityOrLoad) {
+  const ObmProblem p = small_problem();
+  SimConfig c = quick_config();
+  c.traffic.injection_scale = 6.0;
+  c.traffic.bursty = true;
+  c.traffic.burst_duty = 0.25;
+
+  SimConfig no_drain = c;
+  no_drain.max_drain_cycles = 0;
+  SimConfig long_drain = c;
+  long_drain.max_drain_cycles = 400000;
+
+  const SimResult a = run_simulation(p, p.identity_mapping(), no_drain);
+  const SimResult b = run_simulation(p, p.identity_mapping(), long_drain);
+
+  // The drained run really did keep simulating past the window...
+  EXPECT_TRUE(a.drain_incomplete);
+  EXPECT_FALSE(b.drain_incomplete);
+  EXPECT_GT(b.activity_with_drain.crossbar_traversals,
+            a.activity_with_drain.crossbar_traversals);
+
+  // ...yet the measurement-window activity and load digest are identical.
+  EXPECT_EQ(a.activity.buffer_writes, b.activity.buffer_writes);
+  EXPECT_EQ(a.activity.crossbar_traversals, b.activity.crossbar_traversals);
+  EXPECT_EQ(a.activity.link_traversals, b.activity.link_traversals);
+  EXPECT_EQ(a.activity.queue_wait_cycles, b.activity.queue_wait_cycles);
+  EXPECT_EQ(a.load.max_crossbar_per_cycle, b.load.max_crossbar_per_cycle);
+  EXPECT_EQ(a.load.mean_crossbar_per_cycle, b.load.mean_crossbar_per_cycle);
+  EXPECT_EQ(a.load.max_avg_queue_wait, b.load.max_avg_queue_wait);
+  EXPECT_EQ(a.load.max_queue_occupancy, b.load.max_queue_occupancy);
+  EXPECT_EQ(a.load.link_utilization, b.load.link_utilization);
+  EXPECT_EQ(a.load.hottest_router, b.load.hottest_router);
+}
+
 TEST(Sim, InjectionScaleIncreasesTraffic) {
   const ObmProblem p = small_problem();
   SimConfig c = quick_config();
