@@ -120,7 +120,13 @@ void AssignmentWorkspace::solve_impl(const CostView& view, bool warm) {
   NOCMAP_REQUIRE(nr <= nc,
                  "assignment needs at least as many columns as rows");
 
-  const bool warm_hit = warm && warm_cols_ == nc;
+  // Carried potentials are only sound on *square* instances: LP
+  // complementary slackness demands v = 0 on every unmatched column, and a
+  // rectangular solve cannot know up front which columns stay free, so a
+  // nonzero carried v would bias the column choice toward stale favourites
+  // and can return a non-optimal matching (found by the service_replay
+  // fuzz oracle as a lower "bound" above a feasible objective).
+  const bool warm_hit = warm && warm_cols_ == nc && nr == nc;
   (warm ? c_warm_solves : c_cold_solves).add();
   if (warm_hit) c_warm_hits.add();
   c_rows_inserted.add(nr);
@@ -136,9 +142,9 @@ void AssignmentWorkspace::solve_impl(const CostView& view, bool warm) {
 
   // Row potentials are always re-derived (the first delta of each row's
   // insertion absorbs any initial value); column potentials persist across
-  // warm solves of the same width.
+  // warm solves of the same square size.
   std::fill(u_.begin(), u_.begin() + static_cast<std::ptrdiff_t>(nr) + 1, 0.0);
-  if (!warm || warm_cols_ != nc) {
+  if (!warm_hit) {
     std::fill(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(nc) + 1,
               0.0);
   }

@@ -108,9 +108,12 @@ struct Assignment {
 /// with dummy rows.
 ///
 /// Warm starts: `solve_warm` keeps the column potentials v from the
-/// previous solve whenever the column count matches (row potentials are
-/// always re-derived — the kernel is correct for *any* initial potentials,
-/// so warmth is purely a speed heuristic and never affects optimality).
+/// previous solve whenever the instance is square and the column count
+/// matches (row potentials are always re-derived — on square instances the
+/// kernel is correct for *any* initial potentials, so warmth is purely a
+/// speed heuristic and never affects optimality). Rectangular solves always
+/// run cold: optimality there requires zero potential on whichever columns
+/// end up unmatched, which carried potentials cannot guarantee.
 /// Because the returned assignment may differ between warm and cold starts
 /// only when the instance has multiple optima, callers that need
 /// schedule-independent results must key workspaces by logical solve site
@@ -124,7 +127,8 @@ class AssignmentWorkspace {
   const Assignment& solve(const CostView& view);
 
   /// Warm solve: reuses the previous solve's column potentials when the
-  /// column count matches (falls back to a cold solve otherwise).
+  /// instance is square and the column count matches (falls back to a cold
+  /// solve otherwise — in particular every rectangular solve runs cold).
   const Assignment& solve_warm(const CostView& view);
 
   /// Result of the most recent solve (valid until the next one).

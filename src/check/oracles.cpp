@@ -18,6 +18,7 @@
 #include "core/random_mapper.h"
 #include "core/sss_mapper.h"
 #include "netsim/sim.h"
+#include "service/replay.h"
 #include "util/rng.h"
 
 namespace nocmap::check {
@@ -348,6 +349,178 @@ OracleResult run_netsim_rank(const ScenarioSpec& spec) {
   return {};
 }
 
+// ---------------------------------------------------------------------------
+// service_replay
+
+OracleResult run_service_replay(const ScenarioSpec& spec) {
+  // Derive a short churn trace and service configuration from the spec.
+  // Budget and threshold sweep with the seed so the fuzzer covers the
+  // identity (budget 0), tight, and unbounded regimes.
+  service::TraceConfig trace;
+  trace.seed = spec.seed;
+  trace.num_events = 32;
+  trace.num_tiles = spec.num_tiles();
+  trace.min_threads_per_app = 1;
+  trace.max_threads_per_app =
+      std::max(2u, std::min(spec.threads_per_app * 2, spec.num_tiles()));
+  trace.config = spec.config;
+  const std::vector<service::Event> events = service::generate_trace(trace);
+
+  const Mesh mesh =
+      spec.torus ? Mesh::square_torus(spec.mesh_side)
+                 : Mesh::square_with_placement(spec.mesh_side,
+                                               spec.mc_placement);
+  const TileLatencyModel chip(mesh, LatencyParams{});
+
+  service::ServiceConfig config;
+  static constexpr std::size_t kBudgets[] = {0, 1, 2, 4,
+                                             static_cast<std::size_t>(-1)};
+  config.migration_budget = kBudgets[(spec.seed >> 8) % 5];
+  config.degradation_threshold =
+      1.05 + 0.05 * static_cast<double>((spec.seed >> 16) % 5);
+  config.sss.parallel = ParallelConfig::serial_config();
+  service::MappingService engine(chip, config);
+
+  // Worker-count differential: a sibling whose fallback SSS runs on two
+  // workers must emit the identical decision stream (the engine's
+  // bit-identity contract, checked event by event).
+  service::ServiceConfig sibling_config = config;
+  sibling_config.sss.parallel = {2, true};
+  service::MappingService sibling(chip, sibling_config);
+
+  SssOptions fresh_options;
+  fresh_options.parallel = ParallelConfig::serial_config();
+  SortSelectSwapMapper fresh_sss(fresh_options);
+
+  const double theta = config.degradation_threshold;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const service::Event& event = events[i];
+    const std::size_t free_tiles =
+        engine.num_tiles() - engine.occupied_tiles();
+    bool known = false;
+    for (const service::Resident& r : engine.residents()) {
+      known |= r.id == event.app_id;
+    }
+
+    const service::Decision d = engine.handle(event);
+    const service::Decision d2 = sibling.handle(event);
+    if (!(d == d2)) {
+      std::ostringstream os;
+      os << "event " << i << " (" << service::event_kind_name(event.kind)
+         << " app " << event.app_id
+         << "): 1-worker and 2-worker decisions differ — objective " << d.objective
+         << " vs " << d2.objective << ", moved " << d.moved_threads << " vs "
+         << d2.moved_threads;
+      return fail(os.str());
+    }
+
+    // Budget compliance: a hard cap, incremental path and fallback combined.
+    if (d.moved_threads > config.migration_budget) {
+      std::ostringstream os;
+      os << "event " << i << " moved " << d.moved_threads
+         << " resident threads, over the budget of "
+         << config.migration_budget;
+      return fail(os.str());
+    }
+
+    // Admission law: an arrival is accepted iff it is non-empty, fits the
+    // free tiles, and its id is fresh.
+    if (event.kind == service::EventKind::kArrival) {
+      const std::size_t n = event.app.num_threads();
+      const bool should_admit = n > 0 && n <= free_tiles && !known;
+      if (d.accepted != should_admit) {
+        std::ostringstream os;
+        os << "event " << i << ": arrival of " << n << " threads with "
+           << free_tiles << " tiles free was "
+           << (d.accepted ? "accepted" : "rejected") << ", expected the "
+           << (should_admit ? "opposite" : "rejection");
+        return fail(os.str());
+      }
+    }
+
+    // Occupancy bookkeeping vs a from-scratch recompute off the residents.
+    std::size_t resident_threads = 0;
+    std::vector<std::uint64_t> rebuilt(engine.num_tiles(),
+                                       service::MappingService::kFreeTile);
+    for (const service::Resident& r : engine.residents()) {
+      if (r.tiles.size() != r.app.num_threads()) {
+        return fail("resident tile list out of sync with its thread count");
+      }
+      resident_threads += r.tiles.size();
+      for (const TileId k : r.tiles) {
+        if (k >= engine.num_tiles()) {
+          std::ostringstream os;
+          os << "event " << i << ": resident " << r.id
+             << " placed on out-of-range tile " << k;
+          return fail(os.str());
+        }
+        if (rebuilt[k] != service::MappingService::kFreeTile) {
+          std::ostringstream os;
+          os << "event " << i << ": tile " << k << " owned by residents "
+             << rebuilt[k] << " and " << r.id;
+          return fail(os.str());
+        }
+        rebuilt[k] = r.id;
+      }
+    }
+    if (d.occupied_tiles != resident_threads ||
+        engine.occupied_tiles() != resident_threads) {
+      std::ostringstream os;
+      os << "event " << i << ": occupancy counter "
+         << engine.occupied_tiles() << " != " << resident_threads
+         << " resident threads";
+      return fail(os.str());
+    }
+    if (engine.occupancy() != rebuilt) {
+      return fail("occupancy() map disagrees with the resident recompute");
+    }
+
+    if (engine.residents().empty()) continue;
+
+    // Differential objective: the service's incrementally maintained
+    // max-APL vs the batch evaluator on the snapshot instance.
+    const ObmProblem snapshot = engine.snapshot_problem();
+    const Mapping placement = engine.snapshot_mapping();
+    if (!placement.is_valid_permutation(engine.num_tiles())) {
+      std::ostringstream os;
+      os << "event " << i << ": snapshot mapping is not a permutation";
+      return fail(os.str());
+    }
+    const LatencyReport report = evaluate(snapshot, placement);
+    if (!rel_close(d.objective, report.max_apl)) {
+      std::ostringstream os;
+      os << "event " << i << ": service objective " << d.objective
+         << " != evaluate() max-APL " << report.max_apl;
+      return fail(os.str());
+    }
+
+    // Quality contract. The relaxed lower bound under-approximates the
+    // optimum, which a fresh SSS solve over-approximates, so
+    //   lower_bound <= fresh always, and
+    //   objective <= threshold * lower_bound <= threshold * fresh
+    // whenever the service did not flag the decision degraded.
+    if (d.accepted && i % 3 == 0) {
+      const double fresh = evaluate(snapshot, fresh_sss.map(snapshot)).max_apl;
+      if (d.lower_bound > fresh * (1.0 + 1e-9)) {
+        std::ostringstream os;
+        os << "event " << i << ": relaxed lower bound " << d.lower_bound
+           << " exceeds the fresh SSS objective " << fresh
+           << " — the bound is not a bound";
+        return fail(os.str());
+      }
+      if (!d.quality_degraded &&
+          d.objective > theta * fresh * (1.0 + 1e-9)) {
+        std::ostringstream os;
+        os << "event " << i << ": decision not flagged degraded but objective "
+           << d.objective << " is beyond " << theta
+           << "x the fresh SSS objective " << fresh;
+        return fail(os.str());
+      }
+    }
+  }
+  return {};
+}
+
 constexpr Oracle kOracles[] = {
     {"mapper_sanity",
      "permutation validity, cost-cache coherence, evaluator purity",
@@ -367,6 +540,9 @@ constexpr Oracle kOracles[] = {
     {"netsim_rank",
      "measured g-APL ordering agrees with decisive analytic gaps",
      netsim_applicable, run_netsim_rank},
+    {"service_replay",
+     "online mapping service honors budget, quality bound and bookkeeping",
+     always, run_service_replay},
 };
 
 }  // namespace

@@ -30,6 +30,12 @@
 //                          random mapping on g-APL by a wide margin, the
 //                          measured (cycle-level) g-APL must agree on the
 //                          ordering.
+//   service_replay       — replays a synthesized churn trace through the
+//                          online MappingService: per-event migration-budget
+//                          compliance, admission law, occupancy bookkeeping
+//                          vs recompute, incremental objective vs the batch
+//                          evaluator, lower-bound validity against a fresh
+//                          SSS solve, and 1-vs-2-worker decision equality.
 #pragma once
 
 #include <span>

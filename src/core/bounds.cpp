@@ -58,8 +58,10 @@ double max_apl_lower_bound(const ObmProblem& problem,
   }
   double bound = min_weight * optimal_gapl(problem, cache, ws);
   // Per-application bound: application i can never beat its uncontested
-  // relaxed minimum, scaled by its own weight. Every solve in this loop has
-  // the same N tile columns, so each warm-starts from its predecessor.
+  // relaxed minimum, scaled by its own weight. These rectangular solves run
+  // cold inside the kernel regardless of the warm flag — carried column
+  // potentials are unsound when columns may stay unmatched — so `warm` now
+  // only spares re-priming the workspace metadata.
   for (std::size_t a = 0; a < problem.num_applications(); ++a) {
     bound = std::max(bound,
                      problem.app_weight(a) *

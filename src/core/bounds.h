@@ -15,8 +15,10 @@
 // Each bound has a convenience overload that builds its own eq.-13 cache,
 // and a hot-path overload taking a shared ThreadCostCache plus an
 // AssignmentWorkspace. The composite bound reuses one workspace across all
-// of its solves: every solve has the same column set (all N tiles), so the
-// column potentials warm-start each successive per-application relaxation.
+// of its solves so the scratch arrays are allocated once; the rectangular
+// per-application relaxations themselves always run cold (carried column
+// potentials are unsound when columns may stay unmatched — see
+// assign/hungarian.h).
 #pragma once
 
 #include "core/cost_cache.h"

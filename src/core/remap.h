@@ -41,6 +41,43 @@ RemapResult remap_balanced(const ObmProblem& problem,
                            double migration_penalty_cycles,
                            const SssOptions& sss_options = {});
 
+/// Budgeted remap: remap_balanced with a *hard* cap on the number of
+/// migrated threads instead of a penalty the caller must tune.
+struct BudgetedRemapResult {
+  /// Mapping/moved/report of the budget-respecting remap. The invariant is
+  /// `remap.moved_threads <= max_moved_threads`, always.
+  RemapResult remap;
+  /// The migration penalty λ (cycles) whose solution met the budget; 0 when
+  /// the unconstrained remap was already within budget.
+  double penalty_cycles = 0.0;
+  /// True when even maximal stickiness could not meet the budget (the fresh
+  /// tile sets force more moves than allowed) and the old mapping was kept
+  /// unchanged instead.
+  bool reverted_to_old = false;
+};
+
+/// Finds the cheapest-possible remap that migrates at most
+/// `max_moved_threads` threads (zero-rate pad threads move for free and are
+/// not counted, as in remap_balanced):
+///
+///   1. Solve the unconstrained remap (λ = 0); done if within budget.
+///   2. Otherwise bisect the migration penalty λ to the smallest value whose
+///      sticky solution fits the budget, so quality degrades no more than
+///      the budget demands.
+///   3. Threads whose old tile is not in their application's fresh tile set
+///      *must* move under any penalty; when those forced moves alone exceed
+///      the budget, the old mapping is returned unchanged (an identity
+///      remap, `reverted_to_old` set).
+///
+/// A budget of 0 therefore always produces an identity remap; a budget of
+/// SIZE_MAX (or >= the real-thread count) reproduces remap_balanced(λ=0)
+/// exactly. Unlike remap_balanced, `old_mapping` must be a valid permutation
+/// for the problem (step 3's fallback has to be a legal mapping).
+BudgetedRemapResult remap_budgeted(const ObmProblem& problem,
+                                   const Mapping& old_mapping,
+                                   std::size_t max_moved_threads,
+                                   const SssOptions& sss_options = {});
+
 /// Number of positions where the two mappings differ.
 std::size_t count_moved_threads(const Mapping& before, const Mapping& after);
 

@@ -105,5 +105,116 @@ TEST(Remap, NegativePenaltyRejected) {
   EXPECT_THROW(remap_balanced(p, p.identity_mapping(), -1.0), Error);
 }
 
+TEST(BudgetedRemap, BudgetZeroForcesIdentity) {
+  // Old mapping from a different workload: the fresh tile sets differ, so
+  // an unconstrained remap would move threads — budget 0 must not.
+  const ObmProblem p_old = c1_problem(61);
+  const ObmProblem p_new(
+      TileLatencyModel(Mesh::square(8), LatencyParams{}),
+      synthesize_workload(parsec_config("C3"), 62));
+  SortSelectSwapMapper sss;
+  const Mapping old = sss.map(p_old);
+
+  const BudgetedRemapResult r = remap_budgeted(p_new, old, 0);
+  EXPECT_EQ(r.remap.moved_threads, 0u);
+  for (std::size_t j = 0; j < p_new.num_threads(); ++j) {
+    if (p_new.workload().thread(j).total_rate() <= 0.0) continue;
+    EXPECT_EQ(r.remap.mapping.thread_to_tile[j], old.thread_to_tile[j])
+        << "thread " << j << " migrated under a zero budget";
+  }
+  if (r.reverted_to_old) {
+    EXPECT_EQ(r.remap.mapping.thread_to_tile, old.thread_to_tile);
+  }
+}
+
+TEST(BudgetedRemap, UnboundedBudgetMatchesUnconstrainedRemap) {
+  const ObmProblem p_old = c1_problem(63);
+  const ObmProblem p_new(
+      TileLatencyModel(Mesh::square(8), LatencyParams{}),
+      synthesize_workload(parsec_config("C5"), 64));
+  SortSelectSwapMapper sss;
+  const Mapping old = sss.map(p_old);
+
+  const BudgetedRemapResult unbounded =
+      remap_budgeted(p_new, old, static_cast<std::size_t>(-1));
+  const RemapResult free_moves = remap_balanced(p_new, old, 0.0);
+  EXPECT_EQ(unbounded.remap.mapping.thread_to_tile,
+            free_moves.mapping.thread_to_tile);
+  EXPECT_EQ(unbounded.remap.moved_threads, free_moves.moved_threads);
+  EXPECT_EQ(unbounded.penalty_cycles, 0.0);
+  EXPECT_FALSE(unbounded.reverted_to_old);
+}
+
+TEST(BudgetedRemap, BudgetSweepAlwaysRespected) {
+  const ObmProblem p_old = c1_problem(65);
+  const ObmProblem p_new(
+      TileLatencyModel(Mesh::square(8), LatencyParams{}),
+      synthesize_workload(parsec_config("C4"), 66));
+  SortSelectSwapMapper sss;
+  const Mapping old = sss.map(p_old);
+
+  const std::size_t unconstrained =
+      remap_balanced(p_new, old, 0.0).moved_threads;
+  for (const std::size_t budget : {std::size_t{0}, std::size_t{2},
+                                   std::size_t{5}, std::size_t{11},
+                                   unconstrained / 2, unconstrained}) {
+    const BudgetedRemapResult r = remap_budgeted(p_new, old, budget);
+    EXPECT_TRUE(r.remap.mapping.is_valid_permutation(p_new.num_threads()));
+    EXPECT_LE(r.remap.moved_threads, budget) << "budget " << budget;
+  }
+}
+
+TEST(BudgetedRemap, DepartureFreesNonContiguousRegion) {
+  // Three applications resident, the middle one departs: its freed tiles
+  // are scattered across the chip (SSS interleaves tile sets), and the
+  // survivors' old positions must line up with the *new* problem's thread
+  // order with the pad threads parked on the freed tiles.
+  const Mesh mesh = Mesh::square(4);
+  const TileLatencyModel model(mesh, LatencyParams{});
+  SynthesisOptions opt;
+  opt.num_applications = 3;
+  opt.threads_per_app = 5;
+  const Workload full =
+      synthesize_workload(parsec_config("C2"), 67, opt).padded_to(16);
+  const ObmProblem p_full(model, Workload{full});
+  SortSelectSwapMapper sss;
+  const Mapping before = sss.map(p_full);
+
+  // Rebuild the workload without application 1 and align the old mapping.
+  std::vector<Application> survivors = {full.application(0),
+                                        full.application(2)};
+  const ObmProblem p_after(
+      model, Workload{std::move(survivors)}.padded_to(16));
+  Mapping old;
+  std::vector<bool> kept(16, false);
+  for (const std::size_t a : {std::size_t{0}, std::size_t{2}}) {
+    for (std::size_t j = full.first_thread(a); j < full.last_thread(a);
+         ++j) {
+      old.thread_to_tile.push_back(before.thread_to_tile[j]);
+      kept[before.thread_to_tile[j]] = true;
+    }
+  }
+  std::size_t contiguity_breaks = 0;
+  for (TileId k = 0; k < 16; ++k) {
+    if (!kept[k]) old.thread_to_tile.push_back(k);
+    if (k > 0 && !kept[k] != !kept[k - 1]) ++contiguity_breaks;
+  }
+  ASSERT_TRUE(old.is_valid_permutation(16));
+  // The departed application's region really is non-contiguous in tile id
+  // space (otherwise this test degenerates to the trivial suffix case).
+  ASSERT_GT(contiguity_breaks, 1u);
+
+  const BudgetedRemapResult tight = remap_budgeted(p_after, old, 3);
+  EXPECT_TRUE(tight.remap.mapping.is_valid_permutation(16));
+  EXPECT_LE(tight.remap.moved_threads, 3u);
+
+  // With the freed region available, an unbounded remap must do at least
+  // as well as staying put.
+  const BudgetedRemapResult loose =
+      remap_budgeted(p_after, old, static_cast<std::size_t>(-1));
+  EXPECT_LE(loose.remap.report.max_apl,
+            evaluate(p_after, old).max_apl + 1e-9);
+}
+
 }  // namespace
 }  // namespace nocmap

@@ -1,0 +1,165 @@
+// Event-trace replay driver for the online mapping service (DESIGN.md §13).
+//
+//   nocmap_service_replay --events 100000 --seed 1 --mesh 8 --budget 8
+//   nocmap_service_replay --events 5000 --workers 8 --json out.json
+//
+// Synthesizes a deterministic event trace, replays it through one
+// MappingService, and prints throughput (decisions/sec), decision-latency
+// percentiles, admission and fallback statistics, and the decision digest
+// (byte-identical across worker counts; diff digests across runs/machines
+// to prove replay determinism). --json writes the same summary as a small
+// machine-readable file.
+//
+// Exit codes: 0 success, 2 bad usage.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "latency/model.h"
+#include "service/replay.h"
+#include "topology/mesh.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace nocmap;
+
+void usage(std::ostream& os) {
+  os << "usage: nocmap_service_replay [options]\n"
+     << "  --events N      trace length (default 10000)\n"
+     << "  --seed S        trace seed (default 1)\n"
+     << "  --mesh N        square mesh side (default 8)\n"
+     << "  --budget M      per-event migration budget (default 8)\n"
+     << "  --threshold X   fallback degradation threshold (default 1.25)\n"
+     << "  --workers W     fallback-SSS worker count (default 1; any value\n"
+     << "                  yields the identical decision stream)\n"
+     << "  --config CN     fixed Table-3 config C1..C8 (default: cycle)\n"
+     << "  --max-app N     largest application thread count (default 16)\n"
+     << "  --sample K      sample incremental-vs-fresh objective every K\n"
+     << "                  events (default 0 = off)\n"
+     << "  --json PATH     also write the summary as JSON\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::TraceConfig trace_config;
+  trace_config.num_events = 10000;
+  service::ServiceConfig service_config;
+  service_config.migration_budget = 8;
+  std::uint32_t mesh_side = 8;
+  std::size_t workers = 1;
+  std::size_t sample_period = 0;
+  std::string json_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--events") {
+        trace_config.num_events = std::stoul(value());
+      } else if (arg == "--seed") {
+        trace_config.seed = std::stoull(value());
+      } else if (arg == "--mesh") {
+        mesh_side = static_cast<std::uint32_t>(std::stoul(value()));
+      } else if (arg == "--budget") {
+        service_config.migration_budget = std::stoul(value());
+      } else if (arg == "--threshold") {
+        service_config.degradation_threshold = std::stod(value());
+      } else if (arg == "--workers") {
+        workers = std::stoul(value());
+        service_config.sss.parallel = {workers, true};
+      } else if (arg == "--config") {
+        trace_config.config = value();
+      } else if (arg == "--max-app") {
+        trace_config.max_threads_per_app =
+            static_cast<std::uint32_t>(std::stoul(value()));
+      } else if (arg == "--sample") {
+        sample_period = std::stoul(value());
+      } else if (arg == "--json") {
+        json_path = value();
+      } else if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else {
+        throw Error("unknown option: " + arg);
+      }
+    }
+
+    const Mesh mesh = Mesh::square(mesh_side);
+    trace_config.num_tiles = static_cast<std::uint32_t>(mesh.num_tiles());
+    const std::vector<service::Event> events =
+        service::generate_trace(trace_config);
+
+    service::MappingService engine(TileLatencyModel(mesh, LatencyParams{}),
+                                   service_config);
+    service::ReplayOptions replay_options;
+    replay_options.collect_latencies = true;
+    replay_options.objective_sample_period = sample_period;
+    const service::ReplayStats stats =
+        service::replay_trace(engine, events, replay_options);
+
+    const double decisions_per_sec =
+        stats.wall_ms > 0.0
+            ? 1000.0 * static_cast<double>(stats.events) / stats.wall_ms
+            : 0.0;
+    const double mean_us =
+        stats.wall_ms * 1000.0 / static_cast<double>(stats.events);
+    const double p50 = service::percentile_us(stats.decision_us, 50.0);
+    const double p99 = service::percentile_us(stats.decision_us, 99.0);
+
+    std::cout << "nocmap_service_replay — " << stats.events
+              << " events on a " << mesh_side << "x" << mesh_side
+              << " chip (seed " << trace_config.seed << ", budget "
+              << service_config.migration_budget << ", " << workers
+              << " worker(s))\n\n";
+    TextTable t({"metric", "value"});
+    t.add_row({"decisions/sec", fmt(decisions_per_sec)});
+    t.add_row({"mean decision [us]", fmt(mean_us)});
+    t.add_row({"p50 decision [us]", fmt(p50)});
+    t.add_row({"p99 decision [us]", fmt(p99)});
+    t.add_row({"accepted / rejected",
+               std::to_string(stats.accepted) + " / " +
+                   std::to_string(stats.rejected)});
+    t.add_row({"fallback re-solves", std::to_string(stats.fallbacks)});
+    t.add_row({"degraded decisions", std::to_string(stats.degraded)});
+    t.add_row({"threads migrated", std::to_string(stats.moved_threads)});
+    if (stats.objective_samples > 0) {
+      t.add_row({"mean obj / fresh-SSS obj",
+                 fmt(stats.mean_objective_ratio, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "\ndecision digest: " << std::hex << stats.digest
+              << std::dec << "\n";
+
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      if (!os) throw Error("cannot write " + json_path);
+      os << "{\n"
+         << "  \"events\": " << stats.events << ",\n"
+         << "  \"decisions_per_sec\": " << decisions_per_sec << ",\n"
+         << "  \"mean_decision_us\": " << mean_us << ",\n"
+         << "  \"p99_decision_us\": " << p99 << ",\n"
+         << "  \"accepted\": " << stats.accepted << ",\n"
+         << "  \"rejected\": " << stats.rejected << ",\n"
+         << "  \"fallbacks\": " << stats.fallbacks << ",\n"
+         << "  \"degraded\": " << stats.degraded << ",\n"
+         << "  \"moved_threads\": " << stats.moved_threads << ",\n"
+         << "  \"mean_objective_ratio\": " << stats.mean_objective_ratio
+         << ",\n"
+         << "  \"digest\": \"" << std::hex << stats.digest << std::dec
+         << "\"\n"
+         << "}\n";
+      std::cout << "[json: " << json_path << "]\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+  return 0;
+}
