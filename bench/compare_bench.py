@@ -82,31 +82,36 @@ def compare(baseline, current, tolerance, out=sys.stdout):
         if new > old * (1.0 + tolerance):
             regressions.append((key, old, new))
             flag = "  REGRESSED"
-        print(f"{key:<{width}}  {old:>12.1f}  ->  {new:>12.1f}"
+        print(f"{key:<{width}}  {old:>12.6g}  ->  {new:>12.6g}"
               f"  ({ratio:5.2f}x){flag}", file=out)
     for key in removed:
-        print(f"{key:<{width}}  {baseline[key]:>12.1f}  ->  REMOVED",
+        print(f"{key:<{width}}  {baseline[key]:>12.6g}  ->  REMOVED",
               file=out)
     if added:
         print(f"\nnote: {len(added)} metric(s) only in the current run "
               "(no baseline yet, not gated):", file=out)
         for key in added:
-            print(f"  {key}: {current[key]:.1f}", file=out)
+            print(f"  {key}: {current[key]:.6g}", file=out)
 
     if regressions or removed:
+        # Failure lines carry the actual baseline and candidate values in
+        # full significant-digit precision — a fixed one-decimal format used
+        # to render sub-0.05 metrics as "0.0, +30.0%", leaving nothing to
+        # act on in a CI log.
         print(f"\nFAIL:", file=out)
         if regressions:
             print(f"  {len(regressions)} metric(s) regressed beyond "
                   f"{tolerance:.0%} of the committed baseline:", file=out)
             for key, old, new in regressions:
+                ratio = new / old if old > 0 else float("inf")
                 delta = 100.0 * (new - old) / old if old > 0 else float("inf")
-                print(f"    {key}: baseline {old:.1f}, measured {new:.1f}, "
-                      f"{delta:+.1f}%", file=out)
+                print(f"    {key}: baseline {old:.6g}, measured {new:.6g}, "
+                      f"{ratio:.2f}x ({delta:+.1f}%)", file=out)
         if removed:
             print(f"  {len(removed)} baseline metric(s) missing from the "
                   "current run (renamed field or skipped case?):", file=out)
             for key in removed:
-                print(f"    {key}", file=out)
+                print(f"    {key} (baseline {baseline[key]:.6g})", file=out)
         return 1
     print(f"\nOK: all {len(common)} common metrics within {tolerance:.0%} "
           "of the committed baseline.", file=out)

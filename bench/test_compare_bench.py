@@ -77,6 +77,21 @@ class CompareTest(unittest.TestCase):
         code, _ = run_compare({"a.x_ms": 0.0}, {"a.x_ms": 1.0})
         self.assertEqual(code, 1)
 
+    def test_failure_lines_carry_baseline_and_candidate_values(self):
+        # Sub-0.05 metrics used to print as "0.0" on failure lines; the
+        # actual values must survive into the FAIL summary.
+        code, out = run_compare({"a.x_ms": 0.012345}, {"a.x_ms": 0.024690})
+        self.assertEqual(code, 1)
+        self.assertIn("baseline 0.012345", out)
+        self.assertIn("measured 0.02469", out)
+        self.assertIn("2.00x", out)
+
+    def test_removed_failure_line_carries_baseline_value(self):
+        code, out = run_compare({"a.x_ms": 10.0, "b.y_ms": 0.00125},
+                                {"a.x_ms": 10.0})
+        self.assertEqual(code, 1)
+        self.assertIn("b.y_ms (baseline 0.00125)", out)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -8,6 +8,7 @@
 
 #include "assign/hungarian.h"
 #include "core/annealing_mapper.h"
+#include "core/batch_eval.h"
 #include "core/cost_cache.h"
 #include "core/evaluator.h"
 #include "core/exact_solver.h"
@@ -350,6 +351,157 @@ OracleResult run_netsim_rank(const ScenarioSpec& spec) {
 }
 
 // ---------------------------------------------------------------------------
+// batch_eval
+
+/// Differential check of every batched scoring path against the scalar
+/// evaluator it replaces. The batched paths advertise bit-identity (except
+/// the annealer's delta-substitution prescore, which advertises ulp-level
+/// agreement), so the comparisons here are ==, not rel_close: any rounding
+/// reordering introduced into the batch kernels fails the fuzz campaign
+/// immediately.
+OracleResult run_batch_eval(const ScenarioSpec& spec) {
+  const ObmProblem problem = build_problem(spec);
+  const ThreadCostCache cache(problem.workload(), problem.model());
+  const BatchEvaluator batch_eval(problem, cache);
+  const std::size_t n = problem.num_threads();
+  Rng rng(spec.seed, 0x62617463ULL);
+
+  // Batch sizes cover the degenerate single lane, a ragged tail over the
+  // pruning sub-block, and a full multiple of the internal lane block.
+  static constexpr std::size_t kBatchSizes[] = {1, 7, 32, 129};
+  for (const std::size_t count : kBatchSizes) {
+    CandidateBatch batch(n, count);
+    std::vector<std::vector<TileId>> perms(count);
+    for (std::size_t b = 0; b < count; ++b) {
+      const std::vector<std::size_t> p = random_permutation(n, rng);
+      perms[b].assign(p.begin(), p.end());
+      batch.load(b, perms[b]);
+    }
+
+    std::vector<double> scores(count);
+    batch_eval.score(batch, count, scores);
+    for (std::size_t b = 0; b < count; ++b) {
+      Mapping m;
+      m.thread_to_tile = perms[b];
+      const MappingEvaluator scalar(problem, std::move(m), cache);
+      if (scores[b] != scalar.objective()) {
+        std::ostringstream os;
+        os << "batch score[" << b << "] of " << count << " = " << scores[b]
+           << " != scalar objective " << scalar.objective();
+        return fail(os.str());
+      }
+    }
+
+    // score_rows (candidate-major, the GA pool layout) must agree exactly.
+    std::vector<TileId> rows(count * n);
+    for (std::size_t b = 0; b < count; ++b) {
+      std::copy(perms[b].begin(), perms[b].end(), &rows[b * n]);
+    }
+    std::vector<double> row_scores(count);
+    batch_eval.score_rows(rows.data(), n, count, row_scores);
+    for (std::size_t b = 0; b < count; ++b) {
+      if (row_scores[b] != scores[b]) {
+        std::ostringstream os;
+        os << "score_rows[" << b << "] = " << row_scores[b]
+           << " != transposed batch score " << scores[b];
+        return fail(os.str());
+      }
+    }
+
+    // Pruned scoring post-condition: below the cutoff the score is exact;
+    // at or above it the true score is guaranteed >= the cutoff.
+    const double cutoff =
+        scores[rng.uniform_u32(static_cast<std::uint32_t>(count))];
+    std::vector<double> pruned(count);
+    batch_eval.score_pruned(batch, count, cutoff, pruned);
+    for (std::size_t b = 0; b < count; ++b) {
+      if (pruned[b] < cutoff && pruned[b] != scores[b]) {
+        std::ostringstream os;
+        os << "pruned score[" << b << "] = " << pruned[b]
+           << " claims exactness below cutoff " << cutoff
+           << " but the exact score is " << scores[b];
+        return fail(os.str());
+      }
+      if (pruned[b] >= cutoff && scores[b] < cutoff) {
+        std::ostringstream os;
+        os << "pruned score[" << b << "] = " << pruned[b]
+           << " reports >= cutoff " << cutoff
+           << " but the exact score " << scores[b] << " is below it";
+        return fail(os.str());
+      }
+    }
+  }
+
+  // score_group_candidates vs the mutating apply/revert probe it replaced
+  // in the SSS window sweep: bit-identical by contract.
+  {
+    MappingEvaluator eval(problem, problem.identity_mapping(), cache);
+    const auto un = static_cast<std::uint32_t>(n);
+    for (int i = 0; i < 16; ++i) {
+      eval.swap_threads(rng.uniform_u32(un), rng.uniform_u32(un));
+    }
+    const std::size_t w = 2 + rng.uniform_u32(3);  // window of 2..4 threads
+    std::vector<std::size_t> threads;
+    while (threads.size() < w) {
+      const std::size_t j = rng.uniform_u32(un);
+      if (std::find(threads.begin(), threads.end(), j) == threads.end()) {
+        threads.push_back(j);
+      }
+    }
+    std::vector<TileId> held(w);
+    for (std::size_t x = 0; x < w; ++x) {
+      held[x] = eval.mapping().tile_of(threads[x]);
+    }
+    // All cyclic rotations of the held tiles, transposed position-major.
+    const std::size_t count = w;
+    std::vector<TileId> cands(w * count);
+    for (std::size_t b = 0; b < count; ++b) {
+      for (std::size_t x = 0; x < w; ++x) {
+        cands[x * count + b] = held[(x + b) % w];
+      }
+    }
+    std::vector<double> group_scores(count);
+    eval.score_group_candidates(threads, cands.data(), count, group_scores);
+    std::vector<TileId> applied(w);
+    for (std::size_t b = 0; b < count; ++b) {
+      for (std::size_t x = 0; x < w; ++x) applied[x] = cands[x * count + b];
+      eval.apply_group(threads, applied);
+      const double truth = eval.objective();
+      eval.apply_group(threads, held);  // exact revert
+      if (group_scores[b] != truth) {
+        std::ostringstream os;
+        os << "score_group_candidates[" << b << "] = " << group_scores[b]
+           << " != apply_group objective " << truth;
+        return fail(os.str());
+      }
+    }
+
+    // score_swap_candidates (the annealer's prescore) advertises ulp-level
+    // agreement with swap + objective + revert, not bit-identity.
+    std::vector<SwapProposal> proposals(24);
+    for (SwapProposal& p : proposals) {
+      p.j1 = rng.uniform_u32(un);
+      p.j2 = rng.uniform_u32(un);
+    }
+    std::vector<double> swap_scores(proposals.size());
+    eval.score_swap_candidates(proposals, swap_scores);
+    for (std::size_t p = 0; p < proposals.size(); ++p) {
+      eval.swap_threads(proposals[p].j1, proposals[p].j2);
+      const double truth = eval.objective();
+      eval.swap_threads(proposals[p].j1, proposals[p].j2);  // revert
+      if (!rel_close(swap_scores[p], truth)) {
+        std::ostringstream os;
+        os << "score_swap_candidates[" << p << "] (" << proposals[p].j1
+           << "<->" << proposals[p].j2 << ") = " << swap_scores[p]
+           << " not within 1e-9 of the canonical objective " << truth;
+        return fail(os.str());
+      }
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
 // service_replay
 
 OracleResult run_service_replay(const ScenarioSpec& spec) {
@@ -543,6 +695,9 @@ constexpr Oracle kOracles[] = {
     {"service_replay",
      "online mapping service honors budget, quality bound and bookkeeping",
      always, run_service_replay},
+    {"batch_eval",
+     "batched candidate scoring bit-matches the scalar evaluator",
+     always, run_batch_eval},
 };
 
 }  // namespace

@@ -13,7 +13,7 @@ double optimal_gapl(const ObmProblem& problem, const ThreadCostCache& cache,
   const double volume = cache.rate_sum(0, n);
   if (volume <= 0.0) return 0.0;
   // All threads against tiles 0..n-1 — a dense prefix of the cache rows.
-  const CostView view(cache.row(0), n, n, cache.num_tiles());
+  const CostView view(cache.row(0), n, n, cache.row_stride());
   return ws.solve(view).total_cost / volume;
 }
 
@@ -36,7 +36,7 @@ double relaxed_min_apl(const ObmProblem& problem, std::size_t app,
   // the whole chip; unpicked tiles simply stay unmatched (equivalent to the
   // classic zero-cost dummy-row padding, at a fraction of the work).
   const CostView view(cache.row(lo), dn, problem.num_tiles(),
-                      cache.num_tiles());
+                      cache.row_stride());
   const Assignment& a = warm ? ws.solve_warm(view) : ws.solve(view);
   return a.total_cost / volume;
 }

@@ -28,8 +28,10 @@ bool cost_cache_off_by_one() {
 ThreadCostCache::ThreadCostCache(const Workload& workload,
                                  const TileLatencyModel& model)
     : num_threads_(workload.num_threads()),
-      num_tiles_(model.mesh().num_tiles()) {
-  costs_.resize(num_threads_ * num_tiles_);
+      num_tiles_(model.mesh().num_tiles()),
+      row_stride_((model.mesh().num_tiles() + kRowBlock - 1) / kRowBlock *
+                  kRowBlock) {
+  costs_.assign(num_threads_ * row_stride_, 0.0);
   rates_.resize(num_threads_);
   rate_prefix_.resize(num_threads_ + 1);
   rate_prefix_[0] = 0.0;
@@ -37,7 +39,7 @@ ThreadCostCache::ThreadCostCache(const Workload& workload,
     const ThreadProfile& t = workload.thread(j);
     rates_[j] = t.total_rate();
     rate_prefix_[j + 1] = rate_prefix_[j] + rates_[j];
-    double* row = &costs_[j * num_tiles_];
+    double* row = &costs_[j * row_stride_];
     for (std::size_t k = 0; k < num_tiles_; ++k) {
       const auto tile = static_cast<TileId>(k);
       row[k] = t.cache_rate * model.tc(tile) + t.memory_rate * model.tm(tile);
@@ -56,7 +58,7 @@ CostView ThreadCostCache::sam_view(std::size_t first_thread,
   const std::size_t n = tiles.size();
   NOCMAP_REQUIRE(first_thread + n <= num_threads_,
                  "SAM thread range out of cache bounds");
-  return CostView(row(first_thread), n, n, num_tiles_, tiles.data());
+  return CostView(row(first_thread), n, n, row_stride_, tiles.data());
 }
 
 CostMatrix ThreadCostCache::sam_matrix(std::size_t first_thread,

@@ -15,6 +15,13 @@
 // matrix is materialized; `sam_matrix` remains for callers that want an
 // owning copy. Per-thread request rates are cached with a prefix-sum so any
 // contiguous range's traffic volume (the APL denominator) is O(1).
+//
+// Batch layout: rows are stored with a stride padded up to a multiple of
+// kRowBlock doubles (one cache line), so every row starts on its own block
+// and a batch-evaluation pass (core/batch_eval.h) can stream thread rows
+// j = 0..N-1 exactly once while scoring K transposed candidates against each
+// row — the candidates, not the cost table, are the transposed operand. The
+// padding cells are zero-filled and never addressed by cost()/row().
 #pragma once
 
 #include <cstddef>
@@ -41,21 +48,29 @@ bool cost_cache_off_by_one();
 
 class ThreadCostCache {
  public:
+  /// Row padding quantum (doubles per cache line); see the header comment.
+  static constexpr std::size_t kRowBlock = 8;
+
   /// Builds the dense num_threads × num_tiles matrix eagerly.
   ThreadCostCache(const Workload& workload, const TileLatencyModel& model);
 
   std::size_t num_threads() const { return num_threads_; }
   std::size_t num_tiles() const { return num_tiles_; }
 
+  /// Distance in doubles between consecutive rows (num_tiles padded up to a
+  /// multiple of kRowBlock).
+  std::size_t row_stride() const { return row_stride_; }
+
   /// cost(j, k) = c_j·TC(k) + m_j·TM(k) for global thread j on tile k.
   double cost(std::size_t thread, TileId tile) const {
-    return costs_[thread * num_tiles_ + tile];
+    return costs_[thread * row_stride_ + tile];
   }
 
-  /// Raw row of the cost table for global thread j (num_tiles entries).
+  /// Raw row of the cost table for global thread j (num_tiles live entries;
+  /// the next row starts row_stride() doubles later).
   const double* row(std::size_t thread) const {
     NOCMAP_ASSERT(thread < num_threads_);
-    return &costs_[thread * num_tiles_];
+    return &costs_[thread * row_stride_];
   }
 
   /// Total request rate (c_j + m_j) of global thread j — the APL
@@ -82,7 +97,8 @@ class ThreadCostCache {
  private:
   std::size_t num_threads_;
   std::size_t num_tiles_;
-  std::vector<double> costs_;  // row-major [thread][tile]
+  std::size_t row_stride_;     // num_tiles_ rounded up to kRowBlock
+  std::vector<double> costs_;  // row-major [thread][tile], padded rows
   std::vector<double> rates_;
   std::vector<double> rate_prefix_;  // rate_prefix_[j] = Σ rates_[0..j)
 };

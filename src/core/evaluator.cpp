@@ -29,6 +29,13 @@ MappingEvaluator::MappingEvaluator(const ObmProblem& problem, Mapping initial,
   for (std::size_t j = 0; j < mapping_.size(); ++j) {
     tile_to_thread_[mapping_.tile_of(j)] = j;
   }
+  // Memoized thread -> application lookup: the annealer's prescore resolves
+  // two applications per proposed swap, and the out-of-line
+  // Workload::application_of call is measurable at that rate.
+  app_of_.resize(mapping_.size());
+  for (std::size_t j = 0; j < mapping_.size(); ++j) {
+    app_of_[j] = static_cast<std::uint32_t>(wl.application_of(j));
+  }
 
   numerator_.assign(num_apps, 0.0);
   denominator_.assign(num_apps, 0.0);
@@ -137,6 +144,137 @@ void MappingEvaluator::apply_group(std::span<const std::size_t> threads,
   group_apps_.erase(std::unique(group_apps_.begin(), group_apps_.end()),
                     group_apps_.end());
   for (const std::size_t app : group_apps_) recompute_app(app);
+}
+
+void MappingEvaluator::score_group_candidates(
+    std::span<const std::size_t> threads, const TileId* tiles,
+    std::size_t count, std::span<double> out) const {
+  NOCMAP_REQUIRE(out.size() >= count, "score output span too small");
+  const Workload& wl = problem_->workload();
+  const std::size_t num_apps = numerator_.size();
+
+  // Affected applications, ascending and deduplicated — the same set
+  // apply_group would recompute.
+  std::vector<std::size_t> apps;
+  apps.reserve(threads.size());
+  for (const std::size_t j : threads) apps.push_back(wl.application_of(j));
+  std::sort(apps.begin(), apps.end());
+  apps.erase(std::unique(apps.begin(), apps.end()), apps.end());
+
+  // The untouched applications contribute the same term to every candidate;
+  // max over applications is order-independent, so fold them once.
+  double base = 0.0;
+  {
+    auto it = apps.begin();
+    for (std::size_t i = 0; i < num_apps; ++i) {
+      if (it != apps.end() && *it == i) {
+        ++it;
+        continue;
+      }
+      if (denominator_[i] > 0.0) {
+        base = std::max(base, problem_->app_weight(i) * numerator_[i] /
+                                  denominator_[i]);
+      }
+    }
+  }
+
+  constexpr std::size_t kLanes = 64;
+  double worst[kLanes];
+  double acc[kLanes];
+  for (std::size_t b0 = 0; b0 < count; b0 += kLanes) {
+    const std::size_t lanes = std::min(kLanes, count - b0);
+    for (std::size_t b = 0; b < lanes; ++b) worst[b] = base;
+    for (const std::size_t app : apps) {
+      for (std::size_t b = 0; b < lanes; ++b) acc[b] = 0.0;
+      for (std::size_t j = wl.first_thread(app); j < wl.last_thread(app);
+           ++j) {
+        // Group membership resolved once per thread, shared by all lanes.
+        std::size_t x = threads.size();
+        for (std::size_t xi = 0; xi < threads.size(); ++xi) {
+          if (threads[xi] == j) {
+            x = xi;
+            break;
+          }
+        }
+        if (x == threads.size()) {
+          const double c = thread_cost(j, mapping_.tile_of(j));
+          for (std::size_t b = 0; b < lanes; ++b) acc[b] += c;
+        } else if (cache_ != nullptr) {
+          const double* row = cache_->row(j);
+          const TileId* cand = tiles + x * count + b0;
+          for (std::size_t b = 0; b < lanes; ++b) acc[b] += row[cand[b]];
+        } else {
+          const TileId* cand = tiles + x * count + b0;
+          for (std::size_t b = 0; b < lanes; ++b) {
+            acc[b] += thread_cost(j, cand[b]);
+          }
+        }
+      }
+      if (denominator_[app] > 0.0) {
+        const double weight = problem_->app_weight(app);
+        const double den = denominator_[app];
+        for (std::size_t b = 0; b < lanes; ++b) {
+          const double apl = weight * acc[b] / den;
+          if (apl > worst[b]) worst[b] = apl;
+        }
+      }
+    }
+    for (std::size_t b = 0; b < lanes; ++b) out[b0 + b] = worst[b];
+  }
+}
+
+void MappingEvaluator::score_swap_candidates(
+    std::span<const SwapProposal> proposals, std::span<double> out) {
+  NOCMAP_REQUIRE(out.size() >= proposals.size(),
+                 "score output span too small");
+  const std::size_t num_apps = numerator_.size();
+  // Weighted APL of every application in the current state, refreshed once
+  // per block (the state is frozen while a block is prescored).
+  swap_wapl_.resize(num_apps);
+  for (std::size_t i = 0; i < num_apps; ++i) {
+    swap_wapl_[i] = denominator_[i] > 0.0
+                        ? problem_->app_weight(i) * numerator_[i] /
+                              denominator_[i]
+                        : 0.0;
+  }
+  for (std::size_t p = 0; p < proposals.size(); ++p) {
+    const std::size_t j1 = proposals[p].j1;
+    const std::size_t j2 = proposals[p].j2;
+    NOCMAP_ASSERT(j1 < mapping_.size() && j2 < mapping_.size());
+    const std::size_t a1 = app_of_[j1];
+    const std::size_t a2 = app_of_[j2];
+    const TileId t1 = mapping_.tile_of(j1);
+    const TileId t2 = mapping_.tile_of(j2);
+    double v1 = swap_wapl_[a1];
+    double v2 = swap_wapl_[a2];
+    if (j1 != j2) {
+      const double c11 = thread_cost(j1, t1);
+      const double c12 = thread_cost(j1, t2);
+      const double c22 = thread_cost(j2, t2);
+      const double c21 = thread_cost(j2, t1);
+      if (a1 == a2) {
+        if (denominator_[a1] > 0.0) {
+          const double num = numerator_[a1] - c11 - c22 + c12 + c21;
+          v1 = v2 = problem_->app_weight(a1) * num / denominator_[a1];
+        }
+      } else {
+        if (denominator_[a1] > 0.0) {
+          const double num = numerator_[a1] - c11 + c12;
+          v1 = problem_->app_weight(a1) * num / denominator_[a1];
+        }
+        if (denominator_[a2] > 0.0) {
+          const double num = numerator_[a2] - c22 + c21;
+          v2 = problem_->app_weight(a2) * num / denominator_[a2];
+        }
+      }
+    }
+    double worst = 0.0;
+    for (std::size_t a = 0; a < num_apps; ++a) {
+      const double v = a == a1 ? v1 : a == a2 ? v2 : swap_wapl_[a];
+      if (v > worst) worst = v;
+    }
+    out[p] = worst;
+  }
 }
 
 double MappingEvaluator::recomputed_max_apl() const {

@@ -33,6 +33,12 @@
 
 namespace nocmap {
 
+/// One proposed two-thread swap, the annealer's move type.
+struct SwapProposal {
+  std::uint32_t j1 = 0;
+  std::uint32_t j2 = 0;
+};
+
 class MappingEvaluator {
  public:
   /// Takes the problem (kept by reference; must outlive the evaluator) and
@@ -74,6 +80,34 @@ class MappingEvaluator {
   /// (c_j·TC + m_j·TM, eq. 13).
   double thread_cost(std::size_t j, TileId tile) const;
 
+  /// Scores `count` candidate re-assignments of one thread group without
+  /// mutating the evaluator. All candidates share the thread set: candidate
+  /// b re-assigns threads[x] to tiles[x·count + b] (transposed, one
+  /// contiguous row of candidate tiles per group position, like
+  /// CandidateBatch). out[b] is bit-identical to the objective() this
+  /// evaluator would report after apply_group(threads, candidate b): each
+  /// affected application's numerator is re-summed in the canonical
+  /// thread-ascending order with the candidate's tiles substituted — never
+  /// by delta arithmetic — and folded with the untouched applications'
+  /// stored numerators. Being const, any number of workers may score
+  /// windows through one shared evaluator concurrently; the SSS sweep uses
+  /// this instead of mutating per-worker snapshot copies.
+  void score_group_candidates(std::span<const std::size_t> threads,
+                              const TileId* tiles, std::size_t count,
+                              std::span<double> out) const;
+
+  /// Deterministic objective estimates for a block of proposed swaps
+  /// against the current state: out[i] is the OBM objective after applying
+  /// proposal i alone. Computed by delta substitution on the cached
+  /// per-application numerators (4 cost lookups per proposal), so values
+  /// may differ from the canonical objective() in the last ulps — callers
+  /// (the annealer's batched proposal loop) treat them as the acceptance
+  /// score and recompute canonically on accept. Non-const because it
+  /// refreshes an internal weighted-APL scratch; the evaluator must not be
+  /// shared across workers while prescoring (each SA chain owns its own).
+  void score_swap_candidates(std::span<const SwapProposal> proposals,
+                             std::span<double> out);
+
   /// Recomputes everything from scratch; used by tests to check that the
   /// incremental state never drifts.
   double recomputed_max_apl() const;
@@ -91,9 +125,11 @@ class MappingEvaluator {
   const ThreadCostCache* cache_ = nullptr;  // optional, not owned
   Mapping mapping_;
   std::vector<std::size_t> tile_to_thread_;
+  std::vector<std::uint32_t> app_of_;  // thread -> application, memoized
   std::vector<double> numerator_;    // per app: Σ c_j TC(π(j)) + m_j TM(π(j))
   std::vector<double> denominator_;  // per app: Σ c_j + m_j (constant)
   std::vector<std::size_t> group_apps_;  // apply_group scratch
+  std::vector<double> swap_wapl_;        // score_swap_candidates scratch
   double total_denominator_ = 0.0;
 };
 

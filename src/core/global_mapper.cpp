@@ -13,7 +13,7 @@ Mapping GlobalMapper::map(const ObmProblem& problem) {
   // workspace's first use.
   const ThreadCostCache cache(problem.workload(), problem.model());
   AssignmentWorkspace ws;
-  const CostView view(cache.row(0), n, n, cache.num_tiles());
+  const CostView view(cache.row(0), n, n, cache.row_stride());
 
   const Assignment& assignment = ws.solve(view);
   Mapping mapping;

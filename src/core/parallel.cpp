@@ -1,6 +1,9 @@
 #include "core/parallel.h"
 
+#include <algorithm>
 #include <thread>
+
+#include "util/error.h"
 
 namespace nocmap {
 
@@ -25,6 +28,19 @@ void ParallelTrialRunner::for_each(
     return;
   }
   pool_->parallel_for(0, count, body);
+}
+
+void ParallelTrialRunner::for_each_batch(
+    std::size_t count, std::size_t batch_size,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  NOCMAP_REQUIRE(batch_size > 0, "batch size must be positive");
+  if (count == 0) return;
+  const std::size_t batches = (count + batch_size - 1) / batch_size;
+  for_each(batches, [&](std::size_t i) {
+    const std::size_t lo = i * batch_size;
+    const std::size_t hi = std::min(lo + batch_size, count);
+    body(lo, hi);
+  });
 }
 
 std::size_t ParallelTrialRunner::argmin(std::span<const double> scores) {

@@ -73,6 +73,16 @@ class ParallelTrialRunner {
   void for_each(std::size_t count,
                 const std::function<void(std::size_t)>& body);
 
+  /// Runs body(lo, hi) over consecutive half-open ranges of [0, count)
+  /// of width `batch_size` (the final range ragged), one range per work
+  /// unit. The range geometry depends only on (count, batch_size) — never
+  /// the worker count — so a batched fan-out (e.g. the GA scoring a
+  /// population through the batch evaluator in lane blocks) keeps the
+  /// fixed-work-geometry discipline: per-slot results are identical at any
+  /// thread count.
+  void for_each_batch(std::size_t count, std::size_t batch_size,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+
   /// Canonical merge: index of the smallest score, ties to the lowest
   /// index. Empty input returns npos.
   static std::size_t argmin(std::span<const double> scores);

@@ -65,33 +65,49 @@ std::vector<Window> window_schedule(std::size_t n, std::size_t w,
 }
 
 /// Reusable buffers for evaluate_window. After a call, window_threads and
-/// best_tiles describe the last evaluated window.
+/// best_tiles describe the last evaluated window. cand_tiles holds all
+/// w!-1 non-identity window permutations at once, transposed (position-
+/// major: candidate k's tile for position x lives at x·K + k), the layout
+/// score_group_candidates consumes with contiguous per-position rows.
 struct WindowScratch {
   std::vector<std::size_t> perm_idx;
   std::vector<TileId> window_tiles;
   std::vector<std::size_t> window_threads;
-  std::vector<TileId> permuted;
   std::vector<TileId> best_tiles;
+  std::vector<TileId> cand_tiles;
+  std::vector<double> scores;
+  std::size_t num_candidates;  // w! - 1
 
   explicit WindowScratch(std::size_t w)
-      : perm_idx(w), window_tiles(w), window_threads(w), permuted(w),
-        best_tiles(w) {}
+      : perm_idx(w), window_tiles(w), window_threads(w), best_tiles(w) {
+    NOCMAP_REQUIRE(w <= 12, "window size too large to enumerate");
+    std::size_t fact = 1;
+    for (std::size_t i = 2; i <= w; ++i) fact *= i;
+    num_candidates = fact - 1;
+    cand_tiles.resize(w * num_candidates);
+    scores.resize(num_candidates);
+  }
 };
 
-/// Tries every non-identity permutation of the threads on one window's
-/// tiles and records the best strictly-improving one in s.best_tiles.
-/// Leaves `eval` bit-exactly in its entry state: each candidate is applied
-/// and then reverted, and the evaluator's purity invariant (numerators are
-/// a function of the current mapping only, never of the apply history)
-/// makes the revert an exact restoration.
+/// Scores every non-identity permutation of the threads on one window's
+/// tiles in a single batched pass and records the best strictly-improving
+/// one in s.best_tiles. The evaluator is never mutated: all candidates are
+/// enumerated into the scratch's transposed block and scored through
+/// MappingEvaluator::score_group_candidates, whose values are bit-identical
+/// to the objective() an apply/revert probe would have observed. Selection
+/// walks the scores in the same next_permutation order with the same
+/// strict-< test, so the chosen permutation — and therefore the whole SSS
+/// mapping — is bit-identical to the old mutating probe loop, at a fraction
+/// of the work (no per-candidate numerator rebuilds for apply and revert).
 ///
-/// Both the serial sweep and the parallel speculation workers evaluate
-/// windows through this one function, so a worker running it on a snapshot
-/// copy performs floating-point operations identical to the serial sweep's
-/// — which is what makes speculative results committable verbatim.
-bool evaluate_window(MappingEvaluator& eval, std::span<const TileId> sorted,
-                     const Window& win, WindowScratch& s) {
+/// Because evaluation is read-only, the parallel speculation workers score
+/// windows directly against the shared evaluator instead of mutating
+/// per-worker snapshot copies.
+bool evaluate_window(const MappingEvaluator& eval,
+                     std::span<const TileId> sorted, const Window& win,
+                     WindowScratch& s) {
   const std::size_t w = s.window_tiles.size();
+  const std::size_t K = s.num_candidates;
   for (std::size_t x = 0; x < w; ++x) {
     s.window_tiles[x] = sorted[win.start + x * win.step];
     s.window_threads[x] = eval.thread_on(s.window_tiles[x]);
@@ -103,18 +119,29 @@ bool evaluate_window(MappingEvaluator& eval, std::span<const TileId> sorted,
   bool improved = false;
 
   std::iota(s.perm_idx.begin(), s.perm_idx.end(), std::size_t{0});
+  std::size_t k = 0;
   while (std::next_permutation(s.perm_idx.begin(), s.perm_idx.end())) {
     for (std::size_t x = 0; x < w; ++x) {
-      s.permuted[x] = s.window_tiles[s.perm_idx[x]];
+      s.cand_tiles[x * K + k] = s.window_tiles[s.perm_idx[x]];
     }
-    eval.apply_group(s.window_threads, s.permuted);
-    const double obj = eval.objective();
-    if (obj < best_obj) {
-      best_obj = obj;
-      s.best_tiles = s.permuted;
+    ++k;
+  }
+  NOCMAP_ASSERT(k == K);
+  eval.score_group_candidates(s.window_threads, s.cand_tiles.data(), K,
+                              s.scores);
+
+  std::size_t best_k = K;
+  for (k = 0; k < K; ++k) {
+    if (s.scores[k] < best_obj) {
+      best_obj = s.scores[k];
+      best_k = k;
       improved = true;
     }
-    eval.apply_group(s.window_threads, s.window_tiles);  // exact revert
+  }
+  if (improved) {
+    for (std::size_t x = 0; x < w; ++x) {
+      s.best_tiles[x] = s.cand_tiles[x * K + best_k];
+    }
   }
   return improved;
 }
@@ -183,19 +210,20 @@ void sweep_windows_parallel(MappingEvaluator& eval,
     ++rounds;
     evaluated += count;
 
-    // Fan out: each task copies the evaluator once (evaluate_window
-    // restores it exactly between windows) and fills its result slots.
+    // Fan out: window scoring is read-only (score_group_candidates never
+    // mutates the evaluator), so every task scores directly against the
+    // shared evaluator — frozen for the duration of the fan-out — and
+    // fills its result slots; only the enumeration scratch is per-task.
     const std::size_t tasks = std::min(count, threads * 2);
     const std::size_t per_task = (count + tasks - 1) / tasks;
     runner.for_each(tasks, [&, pos, end, per_task](std::size_t t) {
       const std::size_t lo = pos + t * per_task;
       const std::size_t hi = std::min(lo + per_task, end);
       if (lo >= hi) return;
-      MappingEvaluator snapshot = eval;
       WindowScratch s(w);
       for (std::size_t i = lo; i < hi; ++i) {
         WindowResult& r = results[i];
-        r.improved = evaluate_window(snapshot, sorted, windows[i], s);
+        r.improved = evaluate_window(eval, sorted, windows[i], s);
         if (r.improved) r.best_tiles = s.best_tiles;
       }
     });

@@ -14,30 +14,6 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream)
   (*this)();
 }
 
-Rng::result_type Rng::operator()() {
-  const std::uint64_t old = state_;
-  state_ = old * 6364136223846793005ULL + inc_;
-  const auto xorshifted =
-      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
-  const auto rot = static_cast<std::uint32_t>(old >> 59u);
-  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
-}
-
-std::uint32_t Rng::uniform_u32(std::uint32_t bound) {
-  NOCMAP_REQUIRE(bound > 0, "uniform_u32 bound must be positive");
-  // Lemire's nearly-divisionless bounded generation.
-  std::uint64_t m = static_cast<std::uint64_t>((*this)()) * bound;
-  auto lo = static_cast<std::uint32_t>(m);
-  if (lo < bound) {
-    const std::uint32_t threshold = (0u - bound) % bound;
-    while (lo < threshold) {
-      m = static_cast<std::uint64_t>((*this)()) * bound;
-      lo = static_cast<std::uint32_t>(m);
-    }
-  }
-  return static_cast<std::uint32_t>(m >> 32);
-}
-
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   NOCMAP_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/error.h"
@@ -36,17 +37,47 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return 0xffffffffU; }
 
-  /// Next raw 32-bit output.
-  result_type operator()();
+  /// Next raw 32-bit output. Defined inline: the mapper search loops draw
+  /// tens of millions of values per map() call, and an out-of-line call per
+  /// draw roughly doubles the cost of a Fisher–Yates shuffle.
+  result_type operator()() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
 
-  /// Uniform integer in [0, bound), bias-free (Lemire rejection).
-  std::uint32_t uniform_u32(std::uint32_t bound);
+  /// Uniform integer in [0, bound), bias-free (Lemire rejection). Inline for
+  /// the same reason as operator(): it is the per-step cost of every shuffle
+  /// and every neighborhood draw.
+  std::uint32_t uniform_u32(std::uint32_t bound) {
+    NOCMAP_REQUIRE(bound > 0, "uniform_u32 bound must be positive");
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t m = static_cast<std::uint64_t>((*this)()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>((*this)()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).
   double uniform();
+
+  /// Uniform double in [0, 1) from a single 32-bit draw. 2^-32 resolution
+  /// instead of uniform()'s 2^-53 — the right trade for hot acceptance
+  /// tests (SA Metropolis, GA operator rates) where the compared
+  /// probability is itself far coarser than 2^-32.
+  double uniform32() { return static_cast<double>((*this)()) * 0x1.0p-32; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -66,13 +97,19 @@ class Rng {
   /// Exponential with the given rate (mean 1/rate).
   double exponential(double rate);
 
-  /// In-place Fisher–Yates shuffle.
+  /// In-place Fisher–Yates shuffle. The span overload shuffles storage that
+  /// is not its own vector (rows of a flat genome pool); both make the same
+  /// draws for the same size.
   template <typename T>
-  void shuffle(std::vector<T>& v) {
+  void shuffle(std::span<T> v) {
     for (std::size_t i = v.size(); i > 1; --i) {
       const std::size_t j = uniform_u32(static_cast<std::uint32_t>(i));
       std::swap(v[i - 1], v[j]);
     }
+  }
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    shuffle(std::span<T>(v));
   }
 
   /// A fresh generator with an independent stream derived from this one's

@@ -1,0 +1,266 @@
+// Bit-identity contract of the batched candidate evaluator (DESIGN.md §:
+// "Batched candidate evaluation"): every lane scored by BatchEvaluator must
+// equal the scalar MappingEvaluator's objective on the same permutation to
+// the last bit — the mappers' search decisions are rewired through the
+// batched pass on that guarantee. Also covers the pruned variant's
+// postcondition, the candidate-major score_rows path, the const group/swap
+// prescoring entry points on MappingEvaluator, worker-count invariance of a
+// fitness fan-out through ParallelTrialRunner::for_each_batch, and the
+// fast_exp_neg kernel the annealer's acceptance test runs on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/batch_eval.h"
+#include "core/cost_cache.h"
+#include "core/evaluator.h"
+#include "core/parallel.h"
+#include "core/problem.h"
+#include "util/fastmath.h"
+#include "util/rng.h"
+#include "workload/synthesis.h"
+
+namespace nocmap {
+namespace {
+
+ObmProblem make_problem(std::uint32_t side, std::uint64_t seed) {
+  const Mesh mesh = Mesh::square(side);
+  SynthesisOptions opt;
+  opt.num_applications = 4;
+  opt.threads_per_app = mesh.num_tiles() / 4;
+  const auto configs = parsec_table3_configs();
+  const ConfigSpec& spec = configs[seed % configs.size()];
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    synthesize_workload(spec, 500 + seed, opt));
+}
+
+std::vector<TileId> random_perm(std::size_t n, Rng& rng) {
+  std::vector<TileId> perm(n);
+  std::iota(perm.begin(), perm.end(), TileId{0});
+  rng.shuffle(perm);
+  return perm;
+}
+
+double scalar_objective(const ObmProblem& p, const ThreadCostCache& cache,
+                        std::vector<TileId> perm) {
+  Mapping m;
+  m.thread_to_tile = std::move(perm);
+  return MappingEvaluator(p, std::move(m), cache).objective();
+}
+
+TEST(BatchEvaluator, BitIdenticalToScalarAcrossSizes) {
+  for (const std::uint32_t side : {4u, 8u}) {
+    const ObmProblem p = make_problem(side, side);
+    const std::size_t n = p.num_threads();
+    const ThreadCostCache cache(p.workload(), p.model());
+    const BatchEvaluator evaluator(p, cache);
+    Rng rng(11 + side);
+
+    constexpr std::size_t kCount = 64;
+    CandidateBatch batch(n, kCount);
+    std::vector<std::vector<TileId>> perms;
+    for (std::size_t b = 0; b < kCount; ++b) {
+      perms.push_back(random_perm(n, rng));
+      batch.load(b, perms.back());
+    }
+    std::vector<double> scores(kCount);
+    evaluator.score(batch, kCount, scores);
+    for (std::size_t b = 0; b < kCount; ++b) {
+      EXPECT_EQ(scores[b], scalar_objective(p, cache, perms[b]))
+          << "lane " << b << " side " << side;
+    }
+  }
+}
+
+TEST(BatchEvaluator, RaggedFinalBlockAndSingleLane) {
+  const ObmProblem p = make_problem(8, 1);
+  const std::size_t n = p.num_threads();
+  const ThreadCostCache cache(p.workload(), p.model());
+  const BatchEvaluator evaluator(p, cache);
+  Rng rng(29);
+
+  // 137 = 128 + 9: one full internal sub-block plus a ragged tail; also
+  // exercise count < capacity and the K=1 degenerate batch.
+  for (const std::size_t count :
+       {std::size_t{137}, std::size_t{5}, std::size_t{1}}) {
+    CandidateBatch batch(n, count == 5 ? 8 : count);  // capacity may exceed
+    std::vector<std::vector<TileId>> perms;
+    for (std::size_t b = 0; b < count; ++b) {
+      perms.push_back(random_perm(n, rng));
+      batch.load(b, perms.back());
+    }
+    std::vector<double> scores(count, -1.0);
+    evaluator.score(batch, count, scores);
+    for (std::size_t b = 0; b < count; ++b) {
+      EXPECT_EQ(scores[b], scalar_objective(p, cache, perms[b]))
+          << "lane " << b << " of " << count;
+    }
+  }
+}
+
+TEST(BatchEvaluator, ScoreRowsMatchesTransposedScore) {
+  const ObmProblem p = make_problem(8, 2);
+  const std::size_t n = p.num_threads();
+  const ThreadCostCache cache(p.workload(), p.model());
+  const BatchEvaluator evaluator(p, cache);
+  Rng rng(31);
+
+  constexpr std::size_t kCount = 23;  // deliberately not a lane multiple
+  std::vector<TileId> rows(kCount * n);
+  CandidateBatch batch(n, kCount);
+  for (std::size_t b = 0; b < kCount; ++b) {
+    const std::vector<TileId> perm = random_perm(n, rng);
+    std::copy(perm.begin(), perm.end(), rows.begin() + b * n);
+    batch.load(b, perm);
+  }
+  std::vector<double> transposed(kCount), row_major(kCount);
+  evaluator.score(batch, kCount, transposed);
+  evaluator.score_rows(rows.data(), n, kCount, row_major);
+  for (std::size_t b = 0; b < kCount; ++b) {
+    EXPECT_EQ(row_major[b], transposed[b]) << "lane " << b;
+  }
+}
+
+TEST(BatchEvaluator, PrunedScoresKeepTheExactWinner) {
+  const ObmProblem p = make_problem(8, 3);
+  const std::size_t n = p.num_threads();
+  const ThreadCostCache cache(p.workload(), p.model());
+  const BatchEvaluator evaluator(p, cache);
+  Rng rng(37);
+
+  constexpr std::size_t kCount = 96;
+  CandidateBatch batch(n, kCount);
+  for (std::size_t b = 0; b < kCount; ++b) batch.load(b, random_perm(n, rng));
+  std::vector<double> exact(kCount), pruned(kCount);
+  evaluator.score(batch, kCount, exact);
+
+  // Sweep cutoffs from permissive to aggressive; the postcondition must
+  // hold for each: below-cutoff lanes are bit-exact, at-or-above-cutoff
+  // lanes are only guaranteed to be >= cutoff (like the true score).
+  std::vector<double> cutoffs = {1e300, exact[0], exact[kCount / 2], 0.0};
+  for (const double cutoff : cutoffs) {
+    evaluator.score_pruned(batch, kCount, cutoff, pruned);
+    for (std::size_t b = 0; b < kCount; ++b) {
+      if (pruned[b] < cutoff) {
+        EXPECT_EQ(pruned[b], exact[b]) << "lane " << b;
+      } else {
+        EXPECT_GE(exact[b], cutoff) << "lane " << b;
+      }
+    }
+  }
+}
+
+TEST(MappingEvaluatorBatch, GroupCandidatesBitMatchApplyGroup) {
+  const ObmProblem p = make_problem(8, 4);
+  const std::size_t n = p.num_threads();
+  const ThreadCostCache cache(p.workload(), p.model());
+  Rng rng(41);
+  MappingEvaluator eval(p, Mapping{random_perm(n, rng)}, cache);
+
+  // Random 3-thread window, all 6 within-group permutations as candidates.
+  const std::vector<std::size_t> threads = {2, 17, 40};
+  std::vector<TileId> held;
+  for (const std::size_t j : threads) held.push_back(eval.mapping().tile_of(j));
+  std::vector<std::vector<TileId>> cands;
+  std::vector<TileId> perm = held;
+  std::sort(perm.begin(), perm.end());
+  do {
+    cands.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  const std::size_t count = cands.size();
+  std::vector<TileId> transposed(threads.size() * count);
+  for (std::size_t x = 0; x < threads.size(); ++x) {
+    for (std::size_t b = 0; b < count; ++b) {
+      transposed[x * count + b] = cands[b][x];
+    }
+  }
+  std::vector<double> scores(count);
+  eval.score_group_candidates(threads, transposed.data(), count, scores);
+
+  for (std::size_t b = 0; b < count; ++b) {
+    eval.apply_group(threads, cands[b]);
+    EXPECT_EQ(scores[b], eval.objective()) << "candidate " << b;
+    eval.apply_group(threads, held);  // revert
+  }
+}
+
+TEST(MappingEvaluatorBatch, SwapCandidatesTrackTheTrueObjective) {
+  const ObmProblem p = make_problem(8, 5);
+  const std::size_t n = p.num_threads();
+  const ThreadCostCache cache(p.workload(), p.model());
+  Rng rng(43);
+  MappingEvaluator eval(p, Mapping{random_perm(n, rng)}, cache);
+
+  std::vector<SwapProposal> proposals(48);
+  for (SwapProposal& prop : proposals) {
+    prop.j1 = rng.uniform_u32(static_cast<std::uint32_t>(n));
+    prop.j2 = rng.uniform_u32(static_cast<std::uint32_t>(n));
+  }
+  std::vector<double> scores(proposals.size());
+  eval.score_swap_candidates(proposals, scores);
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    eval.swap_threads(proposals[i].j1, proposals[i].j2);
+    const double truth = eval.objective();
+    eval.swap_threads(proposals[i].j1, proposals[i].j2);  // revert
+    // Delta substitution may differ from the canonical recompute in the
+    // last ulps (documented contract), never more.
+    EXPECT_NEAR(scores[i], truth, 1e-9 * std::max(1.0, truth))
+        << "proposal " << i;
+  }
+}
+
+TEST(BatchEvaluator, FanOutIsWorkerCountInvariant) {
+  const ObmProblem p = make_problem(8, 6);
+  const std::size_t n = p.num_threads();
+  const ThreadCostCache cache(p.workload(), p.model());
+  const BatchEvaluator evaluator(p, cache);
+  Rng rng(47);
+
+  constexpr std::size_t kPop = 70;  // ragged over the batch size below
+  std::vector<TileId> rows(kPop * n);
+  for (std::size_t b = 0; b < kPop; ++b) {
+    const std::vector<TileId> perm = random_perm(n, rng);
+    std::copy(perm.begin(), perm.end(), rows.begin() + b * n);
+  }
+
+  auto run = [&](std::size_t workers) {
+    std::vector<double> fit(kPop, -1.0);
+    ParallelTrialRunner runner(ParallelConfig{workers, true});
+    runner.for_each_batch(kPop, 16, [&](std::size_t lo, std::size_t hi) {
+      evaluator.score_rows(rows.data() + lo * n, n, hi - lo,
+                           std::span<double>(fit.data() + lo, hi - lo));
+    });
+    return fit;
+  };
+
+  const std::vector<double> serial = run(1);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    const std::vector<double> parallel = run(workers);
+    for (std::size_t b = 0; b < kPop; ++b) {
+      EXPECT_EQ(parallel[b], serial[b])
+          << "slot " << b << " at " << workers << " workers";
+    }
+  }
+}
+
+TEST(FastMath, ExpNegMatchesLibmTo1e8) {
+  // The annealer compares fast_exp_neg against a 2^-32-resolution uniform
+  // variate; 1e-8 relative error is two orders tighter than it needs.
+  for (double x = 0.0; x < 60.0; x += 0.0137) {
+    const double got = fast_exp_neg(x);
+    const double want = std::exp(-x);
+    EXPECT_NEAR(got, want, 1e-8 * want) << "x=" << x;
+  }
+  EXPECT_EQ(fast_exp_neg(0.0), 1.0);
+  EXPECT_EQ(fast_exp_neg(2000.0), 0.0);  // past the flush-to-zero threshold
+  // Monotone non-increasing across the flush boundary.
+  EXPECT_GE(fast_exp_neg(700.0), 0.0);
+  EXPECT_LE(fast_exp_neg(700.0), fast_exp_neg(699.0));
+}
+
+}  // namespace
+}  // namespace nocmap

@@ -27,7 +27,9 @@ namespace nocmap {
 namespace {
 
 constexpr std::size_t kNumSeeds = 20;
-constexpr std::array<std::size_t, 2> kWorkerCounts = {2, 8};
+// 1 covers the "parallel-configured but single-worker" path (the batched
+// fan-outs still run through the runner); 2 and 8 cover real interleavings.
+constexpr std::array<std::size_t, 3> kWorkerCounts = {1, 2, 8};
 
 /// Square mesh of the given side, four applications, C1..C8 rate statistics
 /// cycled by seed so the 20 workloads span the paper's configuration table.
