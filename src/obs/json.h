@@ -45,8 +45,33 @@ class JsonValue {
   }
 
   Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
   bool is_object() const { return type_ == Type::kObject; }
   bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+
+  /// Typed accessors; each throws nocmap::Error when the value is not of
+  /// (or not convertible to) the requested type. as_double accepts any
+  /// number; as_int accepts integer-typed values and range-checks kUint;
+  /// as_uint additionally accepts non-negative kInt.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Parses one complete JSON document (RFC 8259 subset: no comments, no
+  /// trailing commas; \uXXXX escapes including surrogate pairs are decoded
+  /// to UTF-8). Numbers lex as kInt when they are integral and fit in
+  /// int64 (kUint when only uint64 fits), kDouble otherwise. Throws
+  /// nocmap::Error with the byte offset on malformed input — this is the
+  /// reader for campaign specs and sweep logs (tools/nocmap_sweep), so
+  /// errors must name where the document broke.
+  static JsonValue parse(const std::string& text);
 
   /// Object access: returns the member named `key`, inserting a null member
   /// (and converting a null value into an object) on first use. Insertion

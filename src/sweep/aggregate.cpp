@@ -1,0 +1,258 @@
+#include "sweep/aggregate.h"
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nocmap::sweep {
+
+namespace {
+
+const obs::JsonValue& field(const obs::JsonValue& record, const char* key) {
+  const obs::JsonValue* v = record.find(key);
+  NOCMAP_REQUIRE(v != nullptr,
+                 std::string("campaign record is missing '") + key + "'");
+  return *v;
+}
+
+/// Insertion-ordered accumulator map: first-appearance order is record
+/// order, which is id order, which is spec order — so every section of the
+/// frontier document lists its keys deterministically.
+template <typename Acc>
+class OrderedAccumulators {
+ public:
+  Acc& at(const std::string& key) {
+    for (auto& [k, acc] : entries_) {
+      if (k == key) return acc;
+    }
+    entries_.emplace_back(key, Acc{});
+    return entries_.back().second;
+  }
+  const std::vector<std::pair<std::string, Acc>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Acc>> entries_;
+};
+
+struct MapperAcc {
+  std::uint64_t scenarios = 0;
+  std::uint64_t wins = 0;
+  double sum_max_apl = 0.0;
+  double worst_max_apl = 0.0;
+  double sum_g_apl = 0.0;
+  double sum_dev_apl = 0.0;
+  std::uint64_t simulated = 0;
+  double sum_sim_max_apl = 0.0;
+  double sum_dynamic_mw = 0.0;
+};
+
+struct AxisAcc {
+  std::uint64_t scenarios = 0;
+  double sum_max_apl = 0.0;
+  double sum_g_apl = 0.0;
+};
+
+/// One (mesh_side, injection_scale) cell of a frontier table.
+struct CellAcc {
+  std::uint64_t mesh_side = 0;
+  double injection_scale = 0.0;
+  std::uint64_t scenarios = 0;
+  double best = std::numeric_limits<double>::infinity();
+  std::string best_mapper;
+  double sum = 0.0;
+};
+
+/// Group accumulator for win counting: records of one base scenario
+/// (everything but the mapper axis) are consecutive in id order because
+/// the mapper axis is innermost, but grouping by key keeps this correct
+/// even for hand-edited logs.
+struct GroupAcc {
+  double best = std::numeric_limits<double>::infinity();
+  std::string best_mapper;
+};
+
+std::string axis_value_string(const obs::JsonValue& v) {
+  return v.dump(0);
+}
+
+obs::JsonValue cell_table(const OrderedAccumulators<CellAcc>& cells,
+                          bool with_mean) {
+  obs::JsonValue table = obs::JsonValue::array();
+  for (const auto& [key, cell] : cells.entries()) {
+    (void)key;
+    if (cell.scenarios == 0) continue;
+    obs::JsonValue row = obs::JsonValue::object();
+    row["mesh_side"] = std::uint64_t{cell.mesh_side};
+    row["injection_scale"] = cell.injection_scale;
+    row["scenarios"] = std::uint64_t{cell.scenarios};
+    row["best"] = cell.best;
+    row["best_mapper"] = cell.best_mapper;
+    if (with_mean) {
+      row["mean"] = cell.sum / static_cast<double>(cell.scenarios);
+    }
+    table.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+obs::JsonValue aggregate_log(const CampaignLog& log) {
+  OrderedAccumulators<MapperAcc> mappers;
+  OrderedAccumulators<GroupAcc> groups;
+  OrderedAccumulators<CellAcc> max_apl_cells;
+  OrderedAccumulators<CellAcc> g_apl_cells;
+  OrderedAccumulators<CellAcc> power_cells;
+  // Axis name → (value → marginal). Axis list is fixed so the document
+  // shape is stable even for degenerate specs.
+  const char* axis_names[] = {"mesh_side",        "topology",
+                              "mc_placement",     "config",
+                              "num_applications", "injection_scale"};
+  OrderedAccumulators<AxisAcc> axes[6];
+
+  std::uint64_t simulated = 0;
+  std::uint64_t drain_incomplete = 0;
+
+  for (const obs::JsonValue& record : log.records) {
+    const std::string mapper = field(record, "mapper").as_string();
+    const double max_apl = field(record, "max_apl").as_double();
+    const double g_apl = field(record, "g_apl").as_double();
+    const double dev_apl = field(record, "dev_apl").as_double();
+    const std::uint64_t mesh_side = field(record, "mesh_side").as_uint();
+    const double injection = field(record, "injection_scale").as_double();
+
+    MapperAcc& m = mappers.at(mapper);
+    ++m.scenarios;
+    m.sum_max_apl += max_apl;
+    m.worst_max_apl = std::max(m.worst_max_apl, max_apl);
+    m.sum_g_apl += g_apl;
+    m.sum_dev_apl += dev_apl;
+
+    // Base-scenario key: every record field that identifies the grid point
+    // except the mapper. Ties go to the first record in id order.
+    const std::string group_key =
+        field(record, "seed").dump(0) + "|" + std::to_string(mesh_side) +
+        "|" + field(record, "topology").as_string() + "|" +
+        field(record, "mc_placement").as_string() + "|" +
+        field(record, "config").as_string() + "|" +
+        field(record, "num_applications").dump(0) + "|" +
+        field(record, "threads_per_app").dump(0) + "|" +
+        field(record, "injection_scale").dump(0) + "|" +
+        field(record, "bursty").dump(0);
+    GroupAcc& group = groups.at(group_key);
+    if (max_apl < group.best) {
+      group.best = max_apl;
+      group.best_mapper = mapper;
+    }
+
+    const std::string cell_key =
+        std::to_string(mesh_side) + "|" + field(record, "injection_scale")
+                                              .dump(0);
+    auto fold_cell = [&](OrderedAccumulators<CellAcc>& cells, double value) {
+      CellAcc& cell = cells.at(cell_key);
+      cell.mesh_side = mesh_side;
+      cell.injection_scale = injection;
+      ++cell.scenarios;
+      cell.sum += value;
+      if (value < cell.best) {
+        cell.best = value;
+        cell.best_mapper = mapper;
+      }
+    };
+    fold_cell(max_apl_cells, max_apl);
+    fold_cell(g_apl_cells, g_apl);
+
+    const obs::JsonValue& sim = field(record, "sim");
+    if (!sim.is_null()) {
+      ++simulated;
+      ++m.simulated;
+      m.sum_sim_max_apl += field(sim, "max_apl").as_double();
+      const double dynamic_mw = field(sim, "dynamic_mw").as_double();
+      m.sum_dynamic_mw += dynamic_mw;
+      if (field(sim, "drain_incomplete").as_bool()) ++drain_incomplete;
+      fold_cell(power_cells, dynamic_mw);
+    }
+
+    for (std::size_t a = 0; a < 6; ++a) {
+      AxisAcc& acc =
+          axes[a].at(axis_value_string(field(record, axis_names[a])));
+      ++acc.scenarios;
+      acc.sum_max_apl += max_apl;
+      acc.sum_g_apl += g_apl;
+    }
+  }
+
+  // Wins: fold the group winners back into the mapper marginals.
+  for (const auto& [key, group] : groups.entries()) {
+    (void)key;
+    ++mappers.at(group.best_mapper).wins;
+  }
+
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["schema"] = kSweepFrontierSchema;
+  const obs::JsonValue* name = log.header.find("name");
+  doc["name"] = name != nullptr && name->is_string() ? *name : obs::JsonValue();
+  const obs::JsonValue* digest = log.header.find("spec_digest");
+  doc["spec_digest"] =
+      digest != nullptr && digest->is_string() ? *digest : obs::JsonValue();
+  doc["scenarios"] = std::uint64_t{log.records.size()};
+  const obs::JsonValue* expected = log.header.find("scenarios");
+  doc["complete"] = expected != nullptr &&
+                    expected->as_uint() == log.records.size();
+  doc["simulated"] = std::uint64_t{simulated};
+  doc["drain_incomplete"] = std::uint64_t{drain_incomplete};
+
+  obs::JsonValue mapper_section = obs::JsonValue::object();
+  for (const auto& [mapper_name, m] : mappers.entries()) {
+    obs::JsonValue row = obs::JsonValue::object();
+    const double n = static_cast<double>(m.scenarios);
+    row["scenarios"] = std::uint64_t{m.scenarios};
+    row["wins"] = std::uint64_t{m.wins};
+    row["mean_max_apl"] = m.sum_max_apl / n;
+    row["worst_max_apl"] = m.worst_max_apl;
+    row["mean_g_apl"] = m.sum_g_apl / n;
+    row["mean_dev_apl"] = m.sum_dev_apl / n;
+    row["simulated"] = std::uint64_t{m.simulated};
+    if (m.simulated > 0) {
+      const double k = static_cast<double>(m.simulated);
+      row["mean_sim_max_apl"] = m.sum_sim_max_apl / k;
+      row["mean_dynamic_mw"] = m.sum_dynamic_mw / k;
+    }
+    mapper_section[mapper_name] = std::move(row);
+  }
+  doc["mappers"] = std::move(mapper_section);
+
+  obs::JsonValue frontier = obs::JsonValue::object();
+  frontier["max_apl"] = cell_table(max_apl_cells, /*with_mean=*/true);
+  frontier["g_apl"] = cell_table(g_apl_cells, /*with_mean=*/true);
+  frontier["power_mw"] = cell_table(power_cells, /*with_mean=*/true);
+  doc["frontier"] = std::move(frontier);
+
+  obs::JsonValue axes_section = obs::JsonValue::object();
+  for (std::size_t a = 0; a < 6; ++a) {
+    obs::JsonValue axis = obs::JsonValue::array();
+    for (const auto& [value, acc] : axes[a].entries()) {
+      obs::JsonValue row = obs::JsonValue::object();
+      row["value"] = value;
+      row["scenarios"] = std::uint64_t{acc.scenarios};
+      const double n = static_cast<double>(acc.scenarios);
+      row["mean_max_apl"] = acc.sum_max_apl / n;
+      row["mean_g_apl"] = acc.sum_g_apl / n;
+      axis.push_back(std::move(row));
+    }
+    axes_section[axis_names[a]] = std::move(axis);
+  }
+  doc["axes"] = std::move(axes_section);
+  return doc;
+}
+
+obs::JsonValue aggregate_file(const std::string& log_path) {
+  return aggregate_log(read_campaign_log(log_path));
+}
+
+}  // namespace nocmap::sweep

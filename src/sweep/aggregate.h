@@ -1,0 +1,31 @@
+// Campaign-log aggregation: folds a (possibly partial) campaign.jsonl into
+// the frontier document (`nocmap.sweep_frontier/1`) — per-mapper quality
+// marginals, per-axis marginals, and the max-APL / g-APL / power frontiers
+// over the (mesh_side × injection_scale) load grid. docs/campaigns.md
+// explains how to read the output; docs/metrics-schema.md lists the
+// sweep.* RunReport fields derived from it.
+//
+// Determinism contract: the aggregate depends only on the reproducible
+// record fields (the per-scenario `map_us` wall clock is ignored), and all
+// folds run in scenario-id order, so a campaign's final frontier document
+// is byte-identical at any worker count and across any interrupt/resume
+// history.
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+#include "sweep/runner.h"
+
+namespace nocmap::sweep {
+
+inline constexpr const char* kSweepFrontierSchema = "nocmap.sweep_frontier/1";
+
+/// Builds the frontier document from a parsed log. Throws when a record is
+/// missing a required field (a log written by a different tool version).
+obs::JsonValue aggregate_log(const CampaignLog& log);
+
+/// read_campaign_log + aggregate_log.
+obs::JsonValue aggregate_file(const std::string& log_path);
+
+}  // namespace nocmap::sweep

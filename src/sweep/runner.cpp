@@ -1,0 +1,315 @@
+#include "sweep/runner.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/annealing_mapper.h"
+#include "core/global_mapper.h"
+#include "core/metrics.h"
+#include "core/monte_carlo_mapper.h"
+#include "core/random_mapper.h"
+#include "core/sss_mapper.h"
+#include "netsim/sim.h"
+#include "obs/metrics.h"
+#include "power/dsent_lite.h"
+#include "util/error.h"
+
+namespace nocmap::sweep {
+
+namespace {
+
+const char* placement_name(McPlacement p) {
+  switch (p) {
+    case McPlacement::kCorners: return "corners";
+    case McPlacement::kEdgeMiddles: return "edge_middles";
+    case McPlacement::kDiamond: return "diamond";
+  }
+  return "corners";
+}
+
+/// Fresh mapper for one scenario. Mappers run their canonical *serial*
+/// protocol: sweep parallelism shards scenarios across workers, so each
+/// scenario's result is the single-thread result by construction and the
+/// campaign log cannot depend on the worker count.
+std::unique_ptr<Mapper> make_mapper(const std::string& name,
+                                    const SweepMapperOptions& options) {
+  const ParallelConfig serial = ParallelConfig::serial_config();
+  if (name == "Global") return std::make_unique<GlobalMapper>();
+  if (name == "MC") {
+    return std::make_unique<MonteCarloMapper>(options.mc_trials,
+                                              options.algorithm_seed, serial);
+  }
+  if (name == "SA") {
+    AnnealingParams params;
+    params.iterations = options.sa_iterations;
+    params.seed = options.algorithm_seed;
+    params.parallel = serial;
+    return std::make_unique<AnnealingMapper>(params);
+  }
+  if (name == "SSS") {
+    SssOptions sss;
+    sss.parallel = serial;
+    return std::make_unique<SortSelectSwapMapper>(sss);
+  }
+  if (name == "Random") {
+    return std::make_unique<RandomMapper>(options.algorithm_seed);
+  }
+  NOCMAP_REQUIRE(false, "unknown mapper '" + name + "'");
+  return nullptr;
+}
+
+SimConfig sim_config_for(const CampaignSpec& spec,
+                         const check::ScenarioSpec& scenario) {
+  SimConfig config;
+  config.warmup_cycles = spec.netsim.warmup_cycles;
+  config.measure_cycles = spec.netsim.measure_cycles;
+  config.max_drain_cycles = spec.netsim.max_drain_cycles;
+  config.traffic.seed = scenario.seed;
+  config.traffic.injection_scale = scenario.injection_scale;
+  config.traffic.bursty = scenario.bursty;
+  return config;
+}
+
+/// One scenario's in-flight state between the map+evaluate stage and the
+/// batched simulation stage.
+struct ScenarioRun {
+  std::unique_ptr<ObmProblem> problem;
+  Mapping mapping;
+  LatencyReport report;
+  double map_us = 0.0;
+};
+
+obs::JsonValue scenario_record(const SweepScenario& scenario,
+                               const ScenarioRun& run, const SimResult* sim) {
+  obs::JsonValue rec = obs::JsonValue::object();
+  rec["id"] = std::uint64_t{scenario.id};
+  rec["index"] = std::uint64_t{scenario.index};
+  rec["seed"] = std::uint64_t{scenario.spec.seed};
+  rec["mesh_side"] = std::uint64_t{scenario.spec.mesh_side};
+  rec["topology"] = scenario.spec.torus ? "torus" : "mesh";
+  rec["mc_placement"] = placement_name(scenario.spec.mc_placement);
+  rec["config"] = scenario.spec.config;
+  rec["num_applications"] = std::uint64_t{scenario.spec.num_applications};
+  rec["threads_per_app"] = std::uint64_t{scenario.spec.threads_per_app};
+  rec["injection_scale"] = scenario.spec.injection_scale;
+  rec["bursty"] = scenario.spec.bursty;
+  rec["mapper"] = scenario.mapper;
+  rec["max_apl"] = run.report.max_apl;
+  rec["g_apl"] = run.report.g_apl;
+  rec["dev_apl"] = run.report.dev_apl;
+  rec["objective"] = run.report.objective;
+  if (sim != nullptr) {
+    obs::JsonValue s = obs::JsonValue::object();
+    s["max_apl"] = sim->max_apl;
+    s["g_apl"] = sim->g_apl;
+    s["dev_apl"] = sim->dev_apl;
+    s["packets"] = std::uint64_t{sim->packets_measured};
+    s["link_utilization"] = sim->load.link_utilization;
+    s["max_crossbar_per_cycle"] = sim->load.max_crossbar_per_cycle;
+    s["drain_incomplete"] = sim->drain_incomplete;
+    const Mesh& mesh = run.problem->mesh();
+    const DsentLitePowerModel power_model;
+    const PowerReport power =
+        power_model.report(sim->activity, sim->measured_cycles,
+                           mesh.num_tiles(), mesh_link_count(mesh));
+    s["dynamic_mw"] = power.dynamic_mw;
+    s["total_mw"] = power.total_mw;
+    rec["sim"] = std::move(s);
+  } else {
+    rec["sim"] = obs::JsonValue();  // null: analytic-only scenario
+  }
+  // Wall clock of the map+evaluate stage — the one record field that is
+  // *not* reproducible run to run; the aggregator ignores it.
+  rec["map_us"] = run.map_us;
+  return rec;
+}
+
+}  // namespace
+
+CampaignLog read_campaign_log(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  NOCMAP_REQUIRE(is.good(), "cannot open campaign log " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+
+  CampaignLog log;
+  bool have_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: not a complete line
+    const std::string line = text.substr(pos, nl - pos);
+    if (!have_header) {
+      // A malformed header means the file is not a campaign log at all;
+      // let the parse error propagate rather than "resuming" over it.
+      obs::JsonValue header = obs::JsonValue::parse(line);
+      const obs::JsonValue* schema = header.find("schema");
+      NOCMAP_REQUIRE(schema != nullptr && schema->is_string() &&
+                         schema->as_string() == kSweepLogSchema,
+                     path + " is not a nocmap.sweep_log/1 file");
+      log.header = std::move(header);
+      have_header = true;
+    } else {
+      try {
+        obs::JsonValue record = obs::JsonValue::parse(line);
+        const obs::JsonValue* id = record.find("id");
+        if (id == nullptr || id->as_uint() != log.records.size()) break;
+        log.records.push_back(std::move(record));
+      } catch (const Error&) {
+        break;  // corrupt line: everything before it still counts
+      }
+    }
+    log.good_bytes = nl + 1;
+    pos = nl + 1;
+  }
+  NOCMAP_REQUIRE(have_header, "campaign log has no header line: " + path);
+  return log;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  static const obs::Counter c_scenarios("sweep.scenarios");
+  static const obs::Counter c_resumed("sweep.scenarios_resumed");
+  static const obs::Counter c_chunks("sweep.chunks");
+  static const obs::Timer t_chunk("sweep.chunk");
+  static const obs::Timer t_map_eval("sweep.map_eval");
+
+  NOCMAP_REQUIRE(options.chunk_size >= 1, "chunk_size must be >= 1");
+  const Expansion expansion = expand_spec(spec);
+  const std::uint64_t total = expansion.scenarios.size();
+  const std::string digest = spec_digest(spec);
+
+  std::filesystem::create_directories(options.out_dir);
+  const std::filesystem::path log_path =
+      std::filesystem::path(options.out_dir) / "campaign.jsonl";
+
+  CampaignResult result;
+  result.total = total;
+  result.log_path = log_path.string();
+
+  std::error_code ec;
+  const bool existing = std::filesystem::exists(log_path, ec) &&
+                        std::filesystem::file_size(log_path, ec) > 0;
+  if (existing) {
+    CampaignLog log = read_campaign_log(log_path.string());
+    const obs::JsonValue* log_digest = log.header.find("spec_digest");
+    NOCMAP_REQUIRE(log_digest != nullptr && log_digest->is_string() &&
+                       log_digest->as_string() == digest,
+                   "campaign log " + log_path.string() +
+                       " was produced by a different spec (digest mismatch); "
+                       "refusing to resume");
+    const obs::JsonValue* log_total = log.header.find("scenarios");
+    NOCMAP_REQUIRE(log_total != nullptr && log_total->as_uint() == total,
+                   "campaign log scenario count does not match the spec");
+    NOCMAP_REQUIRE(log.records.size() <= total,
+                   "campaign log has more records than the expansion");
+    result.resumed = log.records.size();
+    c_resumed.add(result.resumed);
+    // Drop any torn tail so the append below starts on a line boundary.
+    if (std::filesystem::file_size(log_path) > log.good_bytes) {
+      std::filesystem::resize_file(log_path, log.good_bytes);
+    }
+  } else {
+    std::ofstream out(log_path, std::ios::binary | std::ios::trunc);
+    NOCMAP_REQUIRE(out.good(), "cannot create " + log_path.string());
+    obs::JsonValue header = obs::JsonValue::object();
+    header["schema"] = kSweepLogSchema;
+    header["name"] = spec.name;
+    header["spec_digest"] = digest;
+    header["scenarios"] = std::uint64_t{total};
+    header["combinations"] = std::uint64_t{expansion.combinations};
+    header["skipped"] = std::uint64_t{expansion.skipped};
+    out << header.dump(0) << '\n' << std::flush;
+  }
+
+  std::ofstream out(log_path, std::ios::binary | std::ios::app);
+  NOCMAP_REQUIRE(out.good(), "cannot append to " + log_path.string());
+
+  ParallelTrialRunner runner(options.parallel);
+  std::uint64_t next = result.resumed;
+  while (next < total) {
+    if (options.max_scenarios != 0 &&
+        result.completed >= options.max_scenarios) {
+      break;
+    }
+    std::uint64_t chunk = std::min<std::uint64_t>(options.chunk_size,
+                                                  total - next);
+    if (options.max_scenarios != 0) {
+      chunk = std::min<std::uint64_t>(
+          chunk, options.max_scenarios - result.completed);
+    }
+    const obs::ScopedTimer chunk_timer(t_chunk);
+
+    // Stage 1: map + analytic evaluation, one pure unit per scenario
+    // sharded across workers (the mappers themselves run serial — see
+    // make_mapper).
+    std::vector<ScenarioRun> runs(static_cast<std::size_t>(chunk));
+    {
+      const obs::ScopedTimer map_timer(t_map_eval);
+      runner.for_each(static_cast<std::size_t>(chunk), [&](std::size_t i) {
+        const SweepScenario& scenario = expansion.scenarios[next + i];
+        const auto start = std::chrono::steady_clock::now();
+        ScenarioRun& run = runs[i];
+        run.problem =
+            std::make_unique<ObmProblem>(check::build_problem(scenario.spec));
+        std::unique_ptr<Mapper> mapper =
+            make_mapper(scenario.mapper, spec.mapper_options);
+        run.mapping = mapper->map(*run.problem);
+        run.report = evaluate(*run.problem, run.mapping);
+        run.map_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      });
+    }
+
+    // Stage 2: cycle-accurate simulation for the eligible scenarios of the
+    // chunk, sharded through the existing batch API. Torus scenarios are
+    // analytic-only (the router engine models meshes).
+    std::vector<std::size_t> sim_slot(static_cast<std::size_t>(chunk),
+                                      ParallelTrialRunner::npos);
+    std::vector<BatchScenario> batch;
+    if (spec.netsim.enabled) {
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const SweepScenario& scenario = expansion.scenarios[next + i];
+        if (scenario.spec.torus) continue;
+        sim_slot[i] = batch.size();
+        batch.push_back(BatchScenario{runs[i].problem.get(), &runs[i].mapping,
+                                      sim_config_for(spec, scenario.spec)});
+      }
+    }
+    const std::vector<SimResult> sims =
+        batch.empty() ? std::vector<SimResult>{}
+                      : run_simulation_batch(batch, options.parallel);
+
+    // Stage 3: serial append in id order, flushed per line so a kill
+    // loses at most the line being written.
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const SweepScenario& scenario = expansion.scenarios[next + i];
+      const SimResult* sim = sim_slot[i] == ParallelTrialRunner::npos
+                                 ? nullptr
+                                 : &sims[sim_slot[i]];
+      out << scenario_record(scenario, runs[i], sim).dump(0) << '\n'
+          << std::flush;
+      NOCMAP_REQUIRE(out.good(),
+                     "write to " + log_path.string() + " failed");
+    }
+    c_scenarios.add(chunk);
+    c_chunks.add();
+    next += chunk;
+    result.completed += chunk;
+    if (options.verbose) {
+      std::cout << "[sweep] " << next << "/" << total << " scenarios ("
+                << spec.name << ")\n";
+    }
+  }
+
+  result.finished = next == total;
+  return result;
+}
+
+}  // namespace nocmap::sweep

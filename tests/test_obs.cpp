@@ -17,6 +17,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/error.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -84,6 +85,72 @@ TEST(Json, ArraysAppendInOrder) {
   arr.push_back(JsonValue(1));
   arr.push_back(JsonValue(2));
   EXPECT_EQ(arr.dump(0), "[1,2]");
+}
+
+// ------------------------------------------------------------- JSON parser
+
+TEST(JsonParse, ReadsEveryValueKind) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"n":null,"t":true,"f":false,"i":-3,"u":18446744073709551615,)"
+      R"("d":1.5,"s":"hi","a":[1,2],"o":{"k":"v"}})");
+  EXPECT_TRUE(doc.find("n")->is_null());
+  EXPECT_TRUE(doc.find("t")->as_bool());
+  EXPECT_FALSE(doc.find("f")->as_bool());
+  EXPECT_EQ(doc.find("i")->as_int(), -3);
+  EXPECT_EQ(doc.find("u")->as_uint(), 18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(doc.find("d")->as_double(), 1.5);
+  EXPECT_EQ(doc.find("s")->as_string(), "hi");
+  EXPECT_EQ(doc.find("a")->size(), 2u);
+  EXPECT_EQ(doc.find("o")->find("k")->as_string(), "v");
+}
+
+TEST(JsonParse, RoundTripsThroughDump) {
+  JsonValue doc = JsonValue::object();
+  doc["name"] = "sweep \"x\"\n";
+  doc["count"] = std::uint64_t{42};
+  doc["scale"] = 0.1;
+  doc["flags"] = JsonValue::array();
+  doc["flags"].push_back(true);
+  doc["flags"].push_back(JsonValue());
+  for (const int indent : {0, 2}) {
+    const JsonValue reparsed = JsonValue::parse(doc.dump(indent));
+    EXPECT_EQ(reparsed.dump(0), doc.dump(0)) << "indent " << indent;
+  }
+}
+
+TEST(JsonParse, DecodesUnicodeEscapesIncludingSurrogatePairs) {
+  const JsonValue doc = JsonValue::parse(R"(["Aé", "😀"])");
+  EXPECT_EQ(doc.items()[0].as_string(), "A\xc3\xa9");
+  EXPECT_EQ(doc.items()[1].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedDocumentsWithByteOffsets) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":1,}", "{\"a\" 1}", "01", "truth",
+        "\"unterminated", "[1] trailing", "{\"a\":1,\"a\":2}"}) {
+    EXPECT_THROW((void)JsonValue::parse(bad), Error) << bad;
+  }
+  try {
+    (void)JsonValue::parse("{\"a\": nope}");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  const std::string deep(100, '[');
+  EXPECT_THROW((void)JsonValue::parse(deep), Error);
+}
+
+TEST(JsonParse, TypedAccessorsEnforceTypes) {
+  const JsonValue doc = JsonValue::parse(R"({"s":"x","neg":-1})");
+  EXPECT_THROW((void)doc.find("s")->as_uint(), Error);
+  EXPECT_THROW((void)doc.find("neg")->as_uint(), Error);
+  EXPECT_THROW((void)doc.find("s")->as_bool(), Error);
+  EXPECT_EQ(doc.find("neg")->as_int(), -1);
+  EXPECT_DOUBLE_EQ(doc.find("neg")->as_double(), -1.0);
 }
 
 // ---------------------------------------------------------------- Trace

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Schema-drift checker for docs/metrics-schema.md.
+
+Cross-checks the metric names registered in the C++ sources (every
+`obs::Counter/Timer/Gauge("name")` construction under src/, bench/ and
+tools/) against the names documented in docs/metrics-schema.md, in both
+directions:
+
+  * a registered metric missing from the doc is drift (new instrumentation
+    landed without its schema entry);
+  * a documented metric that no source registers is drift (the code moved
+    or the metric was renamed/removed and the doc still advertises it).
+
+Names matching _BENCH_INTERNAL are bench-local probes the doc explicitly
+declares meaningless; they are exempt from the per-name table requirement
+(the doc covers them with one sentence, not one row each).
+
+Usage:
+    python3 tools/check_metrics_schema.py [root]
+
+Exits 0 when the doc and the registry agree, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+_SOURCE_DIRS = ("src", "bench", "tools")
+_SCHEMA_DOC = os.path.join("docs", "metrics-schema.md")
+
+# Metric registrations: obs::Counter c("name") / Counter c{"name"} — the
+# constructor takes the registry name as its first (string literal) argument.
+_REGISTRATION_RE = re.compile(
+    r"\bobs::(?:Counter|Timer|Gauge)\s+\w+\s*[({]\s*\"([^\"]+)\"")
+
+# Documented names: the first |-column of a table row when it is a
+# `code`-formatted metric name (tables also document RunReport fields like
+# `schema`; only dotted names are registry metrics).
+_DOC_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_.]*\.[a-z0-9_.<>]+)`\s*\|")
+
+# Bench-internal probe names the doc covers in prose instead of tables.
+_BENCH_INTERNAL = re.compile(r"^micro_obs\.")
+
+# RunReport *fields* documented in the binary-specific table also match
+# _DOC_ROW_RE; they are set via RunReport::set, not registered, so the
+# reverse check only applies to names that look like registry metrics
+# (documented under the Counters / Timers / Gauges sections).
+_REGISTRY_SECTIONS = ("## Counters", "## Timers", "## Gauges")
+
+
+def registered_metrics(root):
+    """{name: file:line} for every metric constructed in the sources."""
+    out = {}
+    for top in _SOURCE_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for name in sorted(filenames):
+                if not name.endswith((".cpp", ".h")):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as f:
+                    for lineno, line in enumerate(f, start=1):
+                        for match in _REGISTRATION_RE.finditer(line):
+                            where = f"{os.path.relpath(path, root)}:{lineno}"
+                            out.setdefault(match.group(1), where)
+    return out
+
+
+def documented_metrics(doc_path):
+    """(all_names, registry_names): every `dotted.name` table entry, and
+    the subset under the Counters/Timers/Gauges sections."""
+    all_names = set()
+    registry_names = set()
+    in_registry_section = False
+    with open(doc_path, encoding="utf-8") as f:
+        for line in f:
+            if line.startswith("## "):
+                in_registry_section = line.strip().startswith(
+                    _REGISTRY_SECTIONS)
+            match = _DOC_ROW_RE.match(line)
+            if match:
+                all_names.add(match.group(1))
+                if in_registry_section:
+                    registry_names.add(match.group(1))
+    return all_names, registry_names
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    doc_path = os.path.join(root, _SCHEMA_DOC)
+    if not os.path.exists(doc_path):
+        print(f"FAIL: {_SCHEMA_DOC} not found under {root}")
+        return 1
+
+    registered = registered_metrics(root)
+    documented, documented_registry = documented_metrics(doc_path)
+
+    failures = []
+    for name in sorted(registered):
+        if _BENCH_INTERNAL.match(name):
+            continue
+        if name not in documented:
+            failures.append(
+                f"undocumented metric `{name}` (registered at "
+                f"{registered[name]}) — add it to {_SCHEMA_DOC}")
+    for name in sorted(documented_registry):
+        if name not in registered:
+            failures.append(
+                f"stale doc entry `{name}` — no source under "
+                f"{'/'.join(_SOURCE_DIRS)} registers it")
+
+    if failures:
+        print(f"FAIL: {len(failures)} schema drift issue(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: {len(registered)} registered metric(s) and "
+          f"{len(documented_registry)} documented registry entr(ies) agree.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
