@@ -14,11 +14,20 @@ renamed field or a silently skipped benchmark case — while metrics only in
 the current run ("added") are informational, so a new benchmark case can
 land before its baseline is regenerated.
 
+A --min-ratio option additionally enforces ratio floors *within the current
+run* (independent of the baseline): NUM_KEY:DEN_KEY:FLOOR fails the gate
+when current[NUM_KEY] / current[DEN_KEY] < FLOOR. This is how CI gates the
+partitioned-netsim speedup (DESIGN.md §16): the w1/w8 wall-time ratio of
+the mesh64 scaling sweep must clear the floor on runners that have the
+cores — the caller guards the flag with an nproc check, since a speedup
+floor is meaningless on a 1-core machine.
+
 Usage:
     python3 bench/compare_bench.py \
         --baseline BENCH_assignment.json \
         --current  build/BENCH_assignment.json \
-        [--tolerance 0.20]
+        [--tolerance 0.20] \
+        [--min-ratio "scenario=a.run_ms:scenario=b.run_ms:3.0"]
 """
 
 import argparse
@@ -118,6 +127,47 @@ def compare(baseline, current, tolerance, out=sys.stdout):
     return 0
 
 
+def check_ratios(current, specs, out=sys.stdout):
+    """Enforces NUM_KEY:DEN_KEY:FLOOR ratio floors on the current run.
+
+    Each spec requires current[NUM_KEY] / current[DEN_KEY] >= FLOOR (e.g. a
+    serial-over-parallel wall-time ratio — a speedup floor). Returns 0 when
+    every floor holds, 1 on a failed or unevaluable floor, 2 on a malformed
+    spec.
+    """
+    code = 0
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            print(f"error: malformed --min-ratio spec {spec!r} "
+                  "(want NUM_KEY:DEN_KEY:FLOOR)", file=out)
+            return 2
+        num_key, den_key, floor_text = parts
+        try:
+            floor = float(floor_text)
+        except ValueError:
+            print(f"error: non-numeric floor in --min-ratio spec {spec!r}",
+                  file=out)
+            return 2
+        missing = [k for k in (num_key, den_key) if k not in current]
+        if missing:
+            print(f"FAIL: --min-ratio {spec}: metric(s) missing from the "
+                  f"current run: {', '.join(missing)}", file=out)
+            code = max(code, 1)
+            continue
+        den = current[den_key]
+        ratio = current[num_key] / den if den > 0 else float("inf")
+        if ratio < floor:
+            print(f"FAIL: --min-ratio {spec}: "
+                  f"{current[num_key]:.6g} / {den:.6g} = {ratio:.3g} "
+                  f"< required {floor:.3g}", file=out)
+            code = max(code, 1)
+        else:
+            print(f"ratio OK: {num_key} / {den_key} = {ratio:.3g} "
+                  f">= {floor:.3g}", file=out)
+    return code
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -126,6 +176,10 @@ def main():
                         help="freshly generated JSON to check")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative slowdown (default 0.20)")
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        metavar="NUM_KEY:DEN_KEY:FLOOR",
+                        help="require current[NUM]/current[DEN] >= FLOOR "
+                             "(repeatable; e.g. a parallel speedup floor)")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -133,7 +187,9 @@ def main():
     with open(args.current, encoding="utf-8") as f:
         current = collect_metrics(json.load(f))
 
-    return compare(baseline, current, args.tolerance)
+    code = compare(baseline, current, args.tolerance)
+    ratio_code = check_ratios(current, args.min_ratio)
+    return max(code, ratio_code)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,12 @@
 //                        the batch API the figure benches shard across
 //                        workers (timed at 1 worker so the number tracks
 //                        engine throughput, not core count).
+//  * mesh64_parallel_w{1,2,4,8} — one 64x64 mesh (4096 tiles) stepped with
+//                        1/2/4/8 spatial-partition workers (DESIGN.md §16):
+//                        the within-simulation scaling sweep. Speedup is
+//                        derived (w1/wN) and emitted alongside hw_threads
+//                        so the CI gate can require scaling only on
+//                        machines that actually have the cores.
 //
 // Each scenario reports best-of-3 end-to-end wall times (ms per run).
 // Optional argv[1] is the output directory (default ".").
@@ -26,10 +32,12 @@
 #include <iostream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "obs/run_report.h"
+#include "workload/synthesis.h"
 
 namespace {
 
@@ -70,8 +78,20 @@ struct ScenarioResult {
   double run_ms = 0.0;
 };
 
+/// 64x64 mesh (4096 tiles), four apps filling the chip — big enough that a
+/// cycle has real parallel work for every row-band domain.
+ObmProblem mesh64_problem() {
+  const Mesh mesh = Mesh::square(64);
+  SynthesisOptions opt;
+  opt.num_applications = 4;
+  opt.threads_per_app = mesh.num_tiles() / 4;
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    synthesize_workload(parsec_config("C1"), 20140519, opt));
+}
+
 void write_netsim_json(const std::filesystem::path& path,
-                       const std::vector<ScenarioResult>& results) {
+                       const std::vector<ScenarioResult>& results,
+                       double speedup_w8) {
   std::ofstream os(path);
   os << "{\n"
      << "  \"bench\": \"micro_netsim\",\n"
@@ -82,7 +102,15 @@ void write_netsim_json(const std::filesystem::path& path,
        << "\", \"run_ms\": " << results[i].run_ms << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  // Derived ratio + machine facts: informational (compare_bench gates only
+  // *_ms timings; the speedup floor is enforced via --min-ratio on machines
+  // with the cores — see .github/workflows/ci.yml).
+  os << "  ],\n"
+     << "  \"parallel\": {\n"
+     << "    \"hw_threads\": " << std::thread::hardware_concurrency()
+     << ",\n"
+     << "    \"mesh64_speedup_w8\": " << speedup_w8 << "\n"
+     << "  }\n}\n";
   obs::RunReport::global().note_artifact(path.string());
   std::cout << "[json: " << path.string() << "]\n";
 }
@@ -152,7 +180,37 @@ int main(int argc, char** argv) {
            }));
   }
 
-  write_netsim_json(out_dir / "BENCH_netsim.json", results);
+  // --- Within-simulation scaling: one 64x64 mesh, 1/2/4/8 partitions.
+  double mesh64_w1 = 0.0;
+  double mesh64_w8 = 0.0;
+  {
+    const ObmProblem big = mesh64_problem();
+    const Mapping big_map = big.identity_mapping();
+    SimConfig cfg;
+    cfg.warmup_cycles = 100;
+    cfg.measure_cycles = 500;
+    for (const std::size_t workers : {1, 2, 4, 8}) {
+      cfg.sim_workers = workers;
+      const double ms = ms_per_run(
+          [&] { g_sink += run_simulation(big, big_map, cfg).g_apl; });
+      record("mesh64_parallel_w" + std::to_string(workers), ms);
+      obs::RunReport::global().set(
+          "netsim.parallel.mesh64.w" + std::to_string(workers) + ".run_ms",
+          ms);
+      if (workers == 1) mesh64_w1 = ms;
+      if (workers == 8) mesh64_w8 = ms;
+    }
+  }
+  const double speedup_w8 = mesh64_w8 > 0.0 ? mesh64_w1 / mesh64_w8 : 0.0;
+  obs::RunReport::global().set("netsim.parallel.mesh64.speedup_w8",
+                               speedup_w8);
+  obs::RunReport::global().set(
+      "netsim.parallel.hw_threads",
+      static_cast<double>(std::thread::hardware_concurrency()));
+  std::cout << "mesh64 speedup at 8 workers: " << speedup_w8 << " ("
+            << std::thread::hardware_concurrency() << " hw threads)\n";
+
+  write_netsim_json(out_dir / "BENCH_netsim.json", results, speedup_w8);
   std::cout << "(checksum " << g_sink << ")\n";
   return 0;
 }

@@ -93,5 +93,51 @@ class CompareTest(unittest.TestCase):
         self.assertIn("b.y_ms (baseline 0.00125)", out)
 
 
+class CheckRatiosTest(unittest.TestCase):
+    """--min-ratio floors (the partitioned-netsim speedup gate)."""
+
+    CURRENT = {"scenario=w1.run_ms": 12.0, "scenario=w8.run_ms": 3.0}
+
+    def run_ratios(self, specs, current=None):
+        out = io.StringIO()
+        code = compare_bench.check_ratios(
+            self.CURRENT if current is None else current, specs, out=out)
+        return code, out.getvalue()
+
+    def test_floor_met_passes(self):
+        code, out = self.run_ratios(
+            ["scenario=w1.run_ms:scenario=w8.run_ms:3.0"])
+        self.assertEqual(code, 0)
+        self.assertIn("ratio OK", out)
+
+    def test_floor_missed_fails(self):
+        code, out = self.run_ratios(
+            ["scenario=w1.run_ms:scenario=w8.run_ms:5.0"])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", out)
+        self.assertIn("< required 5", out)
+
+    def test_missing_metric_fails_not_crashes(self):
+        code, out = self.run_ratios(["scenario=w1.run_ms:absent.run_ms:2.0"])
+        self.assertEqual(code, 1)
+        self.assertIn("missing", out)
+
+    def test_malformed_spec_is_usage_error(self):
+        code, _ = self.run_ratios(["no-colons-here"])
+        self.assertEqual(code, 2)
+        code, _ = self.run_ratios(["a:b:not-a-number"])
+        self.assertEqual(code, 2)
+
+    def test_zero_denominator_passes_as_infinite_speedup(self):
+        code, _ = self.run_ratios(
+            ["scenario=w1.run_ms:scenario=w8.run_ms:3.0"],
+            current={"scenario=w1.run_ms": 1.0, "scenario=w8.run_ms": 0.0})
+        self.assertEqual(code, 0)
+
+    def test_no_specs_is_a_pass(self):
+        code, _ = self.run_ratios([])
+        self.assertEqual(code, 0)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <thread>
 #include <utility>
 
 #include "util/rng.h"
@@ -10,7 +11,7 @@ namespace nocmap {
 
 namespace {
 
-/// Constructor gate: the engine is a member, so validate before it builds.
+/// Constructor gate: the engines are members, so validate before they build.
 const Mesh& require_simulable(const Mesh& mesh) {
   NOCMAP_REQUIRE(!mesh.is_torus(),
                  "the cycle-level simulator models meshes only (the torus "
@@ -18,12 +19,27 @@ const Mesh& require_simulable(const Mesh& mesh) {
   return mesh;
 }
 
+std::size_t resolve_sim_workers(std::size_t sim_workers) {
+  if (sim_workers != 0) return sim_workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 }  // namespace
 
-Network::Network(const Mesh& mesh, const NetworkConfig& config)
-    : mesh_(&mesh),
-      config_(config),
-      engine_(require_simulable(mesh), config, mesh.num_tiles(), 0) {
+Network::Domain::Domain(const Mesh& mesh, const NetworkConfig& config,
+                        TileId first_tile, TileId end_tile,
+                        std::size_t ring_size)
+    : first(first_tile),
+      end(end_tile),
+      engine(mesh, config, end_tile - first_tile, first_tile) {
+  ring.resize(ring_size);
+  ni_active_words.assign((end_tile - first_tile + 63) / 64, 0);
+}
+
+Network::Network(const Mesh& mesh, const NetworkConfig& config,
+                 std::size_t sim_workers)
+    : mesh_(&require_simulable(mesh)), config_(config), cols_(mesh.cols()) {
   NOCMAP_REQUIRE(
       config.routing != RoutingAlgo::kO1Turn || config.vcs_per_port >= 2,
       "O1TURN needs at least two VCs to partition between sub-routes");
@@ -32,15 +48,37 @@ Network::Network(const Mesh& mesh, const NetworkConfig& config)
   for (auto& ni : nis_) {
     ni.credits.assign(config.vcs_per_port, config.buffer_depth);
   }
-  ni_active_words_.assign((n + 63) / 64, 0);
+
+  // Row-band partition: min(workers, rows) contiguous bands, the remainder
+  // rows spread over the leading bands. Any partition yields bit-identical
+  // results (header determinism argument); the band count only sets how
+  // many workers can help.
+  const std::uint32_t rows = mesh.rows();
+  const auto num_domains = static_cast<std::uint32_t>(
+      std::min<std::size_t>(resolve_sim_workers(sim_workers), rows));
   // Horizon: all internal delays are <= max(link_latency, 1) + 1.
-  ring_.resize(static_cast<std::size_t>(
-      std::max<std::uint32_t>(config.link_latency, 1) + 2));
+  const std::size_t ring_size = static_cast<std::size_t>(
+      std::max<std::uint32_t>(config.link_latency, 1) + 2);
+  domains_.reserve(num_domains);
+  row_domain_.reserve(rows);
+  const std::uint32_t base = rows / num_domains;
+  const std::uint32_t extra = rows % num_domains;
+  std::uint32_t row = 0;
+  for (std::uint32_t d = 0; d < num_domains; ++d) {
+    const std::uint32_t band = base + (d < extra ? 1 : 0);
+    domains_.emplace_back(mesh, config, row * cols_, (row + band) * cols_,
+                          ring_size);
+    for (std::uint32_t r = 0; r < band; ++r) row_domain_.push_back(d);
+    row += band;
+  }
+  if (domains_.size() > 1) {
+    team_ = std::make_unique<CycleWorkerTeam>(domains_.size());
+  }
 }
 
-Network::Bucket& Network::bucket_at(Cycle cycle) {
-  NOCMAP_ASSERT(cycle >= now_ && cycle - now_ < ring_.size());
-  return ring_[cycle % ring_.size()];
+Network::Bucket& Network::bucket_at(Domain& d, Cycle cycle) {
+  NOCMAP_ASSERT(cycle >= now_ && cycle - now_ < d.ring.size());
+  return d.ring[cycle % d.ring.size()];
 }
 
 TileId Network::neighbor(TileId tile, PortDir dir) const {
@@ -70,9 +108,13 @@ void Network::inject_packet(const PacketInfo& info) {
   NOCMAP_REQUIRE(info.src < mesh_->num_tiles() && info.dst < mesh_->num_tiles(),
                  "packet endpoint out of range");
   NOCMAP_REQUIRE(info.flits >= 1, "packet must have at least one flit");
-  NOCMAP_REQUIRE(!packets_.contains(info.id), "duplicate packet id");
 
-  packets_.emplace(info.id, info);
+  // The packet table lives with the domain that will eject it.
+  Domain& sink_domain = domains_[domain_of(info.dst)];
+  NOCMAP_REQUIRE(sink_domain.expected.emplace(info.id, info).second,
+                 "duplicate packet id");
+  ++packets_injected_;
+
   Ni& ni = nis_[info.src];
   // Sub-route choice: fixed by the routing algorithm, or (O1TURN) a
   // deterministic balanced pick keyed on the packet id.
@@ -92,16 +134,18 @@ void Network::inject_packet(const PacketInfo& info) {
     flit.dst = info.dst;
     ni.source_queue.push_back(flit);
   }
-  ni_active_words_[info.src >> 6] |= 1ull << (info.src & 63);
+  Domain& src_domain = domains_[domain_of(info.src)];
+  const TileId local = info.src - src_domain.first;
+  src_domain.ni_active_words[local >> 6] |= 1ull << (local & 63);
 }
 
-void Network::deliver_due_events() {
-  Bucket& bucket = ring_[now_ % ring_.size()];
+void Network::deliver_due_events(Domain& d) {
+  Bucket& bucket = d.ring[now_ % d.ring.size()];
   for (const auto& pf : bucket.flits) {
-    engine_.receive_flit(pf.router, pf.port, pf.vc, pf.flit, now_);
+    d.engine.receive_flit(pf.router - d.first, pf.port, pf.vc, pf.flit, now_);
   }
   for (const auto& pc : bucket.credits) {
-    engine_.receive_credit(pc.router, pc.port, pc.vc);
+    d.engine.receive_credit(pc.router - d.first, pc.port, pc.vc);
   }
   for (const auto& nc : bucket.ni_credits) {
     Ni& ni = nis_[nc.router];
@@ -109,7 +153,7 @@ void Network::deliver_due_events() {
     ++ni.credits[nc.vc];
   }
   for (const auto& sink : bucket.sinks) {
-    process_sink(sink);
+    process_sink(d, sink);
   }
   bucket.flits.clear();
   bucket.credits.clear();
@@ -117,15 +161,15 @@ void Network::deliver_due_events() {
   bucket.sinks.clear();
 }
 
-void Network::inject_from_nis() {
-  // Ascending-tile scan of NIs with queued flits (same visit order as the
-  // dense loop; an empty NI's iteration was a no-op).
-  for (std::size_t w = 0; w < ni_active_words_.size(); ++w) {
-    std::uint64_t bits = ni_active_words_[w];
+void Network::inject_from_nis(Domain& d) {
+  // Ascending-tile scan of the domain's NIs with queued flits (same visit
+  // order as the dense loop; an empty NI's iteration was a no-op).
+  for (std::size_t w = 0; w < d.ni_active_words.size(); ++w) {
+    std::uint64_t bits = d.ni_active_words[w];
     while (bits) {
-      const auto t =
-          static_cast<TileId>(w * 64 +
-                              static_cast<std::size_t>(std::countr_zero(bits)));
+      const auto t = static_cast<TileId>(
+          d.first + w * 64 +
+          static_cast<std::size_t>(std::countr_zero(bits)));
       bits &= bits - 1;
       Ni& ni = nis_[t];
       const Flit& front = ni.source_queue.front();
@@ -147,84 +191,130 @@ void Network::inject_from_nis() {
       if (!ni.vc_held || ni.credits[ni.held_vc] == 0) continue;
 
       --ni.credits[ni.held_vc];
-      engine_.receive_flit(t, PortDir::kLocal, ni.held_vc, front, now_);
-      ++flits_injected_;
+      d.engine.receive_flit(t - d.first, PortDir::kLocal, ni.held_vc, front,
+                            now_);
+      ++d.flits_injected;
       if (front.is_tail) ni.vc_held = false;
       ni.source_queue.pop_front();
       if (ni.source_queue.empty()) {
-        ni_active_words_[t >> 6] &= ~(1ull << (t & 63));
+        const TileId local = t - d.first;
+        d.ni_active_words[local >> 6] &= ~(1ull << (local & 63));
       }
     }
   }
 }
 
-void Network::tick_routers() {
-  // Ascending-tile scan of routers with buffered flits. A router without
-  // buffered flits changes no state in a tick (route/VA touch only
-  // occupied VCs, the switch allocator has no candidates and the
-  // distance-weighted arbiter draws no random number), so skipping it is
-  // exact, and the scan order keeps bucket push order — flits, credits,
+void Network::tick_routers(Domain& d) {
+  // Ascending-tile scan of the domain's routers with buffered flits. A
+  // router without buffered flits changes no state in a tick (route/VA
+  // touch only occupied VCs, the switch allocator has no candidates and
+  // the distance-weighted arbiter draws no random number), so skipping it
+  // is exact, and the scan order keeps bucket push order — flits, credits,
   // sinks — identical to ticking every router in tile order.
-  for (std::size_t w = 0; w < engine_.num_active_words(); ++w) {
-    std::uint64_t bits = engine_.active_word(w);
+  for (std::size_t w = 0; w < d.engine.num_active_words(); ++w) {
+    std::uint64_t bits = d.engine.active_word(w);
     while (bits) {
-      const auto t =
-          static_cast<TileId>(w * 64 +
-                              static_cast<std::size_t>(std::countr_zero(bits)));
+      const auto local = static_cast<std::size_t>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
       bits &= bits - 1;
-      departures_scratch_.clear();
-      engine_.tick(t, now_, departures_scratch_);
-      for (const Departure& dep : departures_scratch_) {
+      const auto t = static_cast<TileId>(d.first + local);
+      d.scratch.clear();
+      d.engine.tick(local, now_, d.scratch);
+      for (const Departure& dep : d.scratch) {
         // Credit for the freed input buffer slot, one cycle upstream.
         if (dep.in_port == PortDir::kLocal) {
-          bucket_at(now_ + 1).ni_credits.push_back({t, PortDir::kLocal,
-                                                    dep.in_vc});
+          bucket_at(d, now_ + 1).ni_credits.push_back(
+              {t, PortDir::kLocal, dep.in_vc});
         } else {
           const TileId up = neighbor(t, dep.in_port);
-          bucket_at(now_ + 1).credits.push_back(
-              {up, opposite(dep.in_port), dep.in_vc});
+          const PendingCredit credit{up, opposite(dep.in_port), dep.in_vc};
+          if (up >= d.first && up < d.end) {
+            bucket_at(d, now_ + 1).credits.push_back(credit);
+          } else {
+            d.out_credits.push_back({now_ + 1, credit});
+          }
         }
         // The flit itself.
         if (dep.out_port == PortDir::kLocal) {
-          bucket_at(now_ + 1).sinks.push_back({t, dep.out_vc, dep.flit});
+          bucket_at(d, now_ + 1).sinks.push_back({t, dep.out_vc, dep.flit});
         } else {
           const TileId down = neighbor(t, dep.out_port);
           Flit forwarded = dep.flit;
           ++forwarded.hops;  // distance credit for the arbiter
-          bucket_at(now_ + config_.link_latency)
-              .flits.push_back(
-                  {down, opposite(dep.out_port), dep.out_vc, forwarded});
-          ++link_traversals_;
+          const Cycle due = now_ + config_.link_latency;
+          const PendingFlit pf{down, opposite(dep.out_port), dep.out_vc,
+                               forwarded};
+          if (down >= d.first && down < d.end) {
+            bucket_at(d, due).flits.push_back(pf);
+          } else {
+            d.out_flits.push_back({due, pf});
+          }
+          ++d.link_traversals;
         }
       }
-      engine_.retire_if_idle(t);
+      d.engine.retire_if_idle(local);
     }
   }
 }
 
-void Network::process_sink(const PendingSink& sink) {
+void Network::process_sink(Domain& d, const PendingSink& sink) {
   Ni& ni = nis_[sink.tile];
-  ++flits_ejected_;
+  ++d.flits_ejected;
   // The NI consumes the flit immediately; recredit the router's local
   // output VC so ejection never stalls.
-  engine_.receive_credit(sink.tile, PortDir::kLocal, sink.out_vc);
+  d.engine.receive_credit(sink.tile - d.first, PortDir::kLocal, sink.out_vc);
   const std::uint32_t seen = ++ni.sink_flits[sink.flit.packet];
   if (!sink.flit.is_tail) return;
 
-  auto it = packets_.find(sink.flit.packet);
-  NOCMAP_REQUIRE(it != packets_.end(), "tail for unknown packet");
+  auto it = d.expected.find(sink.flit.packet);
+  NOCMAP_REQUIRE(it != d.expected.end(), "tail for unknown packet");
   NOCMAP_REQUIRE(seen == it->second.flits,
                  "tail ejected before all body flits");
   NOCMAP_REQUIRE(it->second.dst == sink.tile, "packet ejected at wrong tile");
-  ejections_.push_back({it->second, now_});
+  d.fresh_ejections.push_back({it->second, now_});
   ni.sink_flits.erase(sink.flit.packet);
-  packets_.erase(it);
+  d.expected.erase(it);
+  ++d.packets_completed;
+}
+
+void Network::step_domain(Domain& d) {
+  deliver_due_events(d);
+  inject_from_nis(d);
+  tick_routers(d);
+}
+
+void Network::commit_cycle() {
+  // Serial phase. Domains ascend, so concatenating fresh ejections (each
+  // ascending-tile within its domain) reproduces the serial engine's
+  // ascending-tile ejection order; staged boundary events commute with the
+  // target bucket's existing entries (header determinism argument).
+  for (Domain& d : domains_) {
+    for (const StagedFlit& sf : d.out_flits) {
+      bucket_at(domains_[domain_of(sf.flit.router)], sf.due)
+          .flits.push_back(sf.flit);
+    }
+    boundary_flits_ += d.out_flits.size();
+    d.out_flits.clear();
+    for (const StagedCredit& sc : d.out_credits) {
+      bucket_at(domains_[domain_of(sc.credit.router)], sc.due)
+          .credits.push_back(sc.credit);
+    }
+    d.out_credits.clear();
+    if (!d.fresh_ejections.empty()) {
+      ejections_.insert(ejections_.end(), d.fresh_ejections.begin(),
+                        d.fresh_ejections.end());
+      d.fresh_ejections.clear();
+    }
+  }
 }
 
 void Network::step() {
-  deliver_due_events();
-  inject_from_nis();
-  tick_routers();
+  if (team_ != nullptr) {
+    team_->run([this](std::size_t d) { step_domain(domains_[d]); });
+  } else {
+    for (Domain& d : domains_) step_domain(d);
+  }
+  commit_cycle();
   ++now_;
 }
 
@@ -232,39 +322,67 @@ std::vector<Ejection> Network::take_ejections() {
   return std::exchange(ejections_, {});
 }
 
+std::size_t Network::packets_in_flight() const {
+  std::uint64_t completed = 0;
+  for (const Domain& d : domains_) completed += d.packets_completed;
+  return static_cast<std::size_t>(packets_injected_ - completed);
+}
+
+std::uint64_t Network::flits_injected() const {
+  std::uint64_t total = 0;
+  for (const Domain& d : domains_) total += d.flits_injected;
+  return total;
+}
+
+std::uint64_t Network::flits_ejected() const {
+  std::uint64_t total = 0;
+  for (const Domain& d : domains_) total += d.flits_ejected;
+  return total;
+}
+
 const ActivityCounters& Network::router_activity(TileId t) const {
-  NOCMAP_REQUIRE(t < engine_.num_routers(), "router id out of range");
-  return engine_.activity(t);
+  NOCMAP_REQUIRE(t < mesh_->num_tiles(), "router id out of range");
+  const Domain& d = domains_[domain_of(t)];
+  return d.engine.activity(t - d.first);
 }
 
 ActivityCounters Network::total_activity() const {
   ActivityCounters total;
-  for (std::size_t t = 0; t < engine_.num_routers(); ++t) {
-    total += engine_.activity(t);
+  std::uint64_t links = 0;
+  for (const Domain& d : domains_) {
+    for (std::size_t r = 0; r < d.engine.num_routers(); ++r) {
+      total += d.engine.activity(r);
+    }
+    links += d.link_traversals;
   }
-  total.link_traversals = link_traversals_;
+  total.link_traversals = links;
   return total;
 }
 
 void Network::reset_activity() {
-  engine_.reset_activity();
-  link_traversals_ = 0;
+  for (Domain& d : domains_) {
+    d.engine.reset_activity();
+    d.link_traversals = 0;
+  }
   have_snapshot_ = false;
 }
 
 void Network::snapshot_activity() {
-  const std::size_t n = engine_.num_routers();
+  const std::size_t n = mesh_->num_tiles();
   measured_activity_.resize(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    measured_activity_[t] = engine_.activity(t);
+  measured_link_traversals_ = 0;
+  for (const Domain& d : domains_) {
+    for (std::size_t r = 0; r < d.engine.num_routers(); ++r) {
+      measured_activity_[d.first + r] = d.engine.activity(r);
+    }
+    measured_link_traversals_ += d.link_traversals;
   }
-  measured_link_traversals_ = link_traversals_;
   have_snapshot_ = true;
 }
 
 const ActivityCounters& Network::measured_router_activity(TileId t) const {
-  NOCMAP_REQUIRE(t < engine_.num_routers(), "router id out of range");
-  return have_snapshot_ ? measured_activity_[t] : engine_.activity(t);
+  NOCMAP_REQUIRE(t < mesh_->num_tiles(), "router id out of range");
+  return have_snapshot_ ? measured_activity_[t] : router_activity(t);
 }
 
 ActivityCounters Network::measured_total_activity() const {

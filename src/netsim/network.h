@@ -1,26 +1,52 @@
 // Whole-network cycle-level model: routers, links, network interfaces.
 //
-// The Network owns one RouterEngine covering every tile (structure-of-
-// arrays router state; see router.h) and one network interface (NI) per
-// tile. Traffic enters through NI source queues (open-loop injection:
-// queues are unbounded, so offered load is never throttled by the network —
-// matching trace-driven evaluation), moves through the credit-based
-// wormhole fabric, and is consumed by NI sinks. The caller drives the clock
-// via step() and drains ejection records; packet payload semantics
-// (cache/memory transactions, replies) live in traffic.h on top of this
-// layer.
+// The Network is spatially partitioned into contiguous row-band *domains*
+// (DESIGN.md §16). Each domain owns a RouterEngine covering its tiles
+// (structure-of-arrays router state; see router.h), the network interfaces
+// (NIs) of those tiles, its own future-event ring, and its own counters —
+// so within a cycle every domain's work (event delivery, NI injection,
+// router ticks) touches only domain-local state and can run on its own
+// worker. Events that cross a domain boundary (flits and credits to the
+// adjacent row band) are staged in per-domain outboxes during the parallel
+// phase and committed into the target domains' rings at a per-cycle
+// barrier — the same snapshot/commit discipline the mapper engine uses
+// (core/parallel.h). With one domain (the default) the code path is the
+// serial engine, unchanged.
 //
-// Idle tiles cost nothing: routers are ticked off the engine's active
-// bitmask and NIs off a source-queue bitmask, both scanned in ascending
-// tile order so event and ejection ordering — and with it every
-// floating-point accumulation downstream — is identical to the dense loop.
+// Determinism: the partitioned step is bit-identical to the serial engine
+// at any domain count. Within a cycle a router's tick reads and writes only
+// its own domain's state; staged boundary events land at cycle now+1 or
+// later, so no domain ever observes another domain's current-cycle writes.
+// Event delivery order within a bucket differs from the serial engine only
+// across domains, and every cross-domain event commutes: flit and credit
+// deliveries target distinct (router, port, VC) state, and a directed link
+// carries at most one flit per cycle. Ejections — whose order feeds
+// floating-point accumulation downstream — are produced only by a tile's
+// own domain (a local-port departure never crosses a boundary), collected
+// per domain in ascending-tile order, and concatenated in domain order at
+// the commit barrier: exactly the serial engine's ascending-tile order.
+//
+// Traffic enters through NI source queues (open-loop injection: queues are
+// unbounded, so offered load is never throttled by the network — matching
+// trace-driven evaluation), moves through the credit-based wormhole fabric,
+// and is consumed by NI sinks. The caller drives the clock via step() and
+// drains ejection records; packet payload semantics (cache/memory
+// transactions, replies) live in traffic.h on top of this layer.
+//
+// Idle tiles cost nothing: routers are ticked off each domain engine's
+// active bitmask and NIs off a per-domain source-queue bitmask, both
+// scanned in ascending tile order so event and ejection ordering — and
+// with it every floating-point accumulation downstream — is identical to
+// the dense loop.
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "netsim/router.h"
+#include "util/cycle_barrier.h"
 
 namespace nocmap {
 
@@ -36,27 +62,50 @@ struct Ejection {
 
 class Network {
  public:
-  Network(const Mesh& mesh, const NetworkConfig& config);
+  /// `sim_workers` requests the spatial partition width: the mesh is split
+  /// into min(sim_workers, rows) contiguous row-band domains stepped on a
+  /// persistent worker team (0 resolves to the hardware concurrency).
+  /// Results are bit-identical at every worker count; 1 (the default) is
+  /// the serial engine with no threads spawned.
+  Network(const Mesh& mesh, const NetworkConfig& config,
+          std::size_t sim_workers = 1);
 
   const Mesh& mesh() const { return *mesh_; }
   const NetworkConfig& config() const { return config_; }
   Cycle now() const { return now_; }
 
+  /// Row-band domains the mesh is partitioned into (1 = serial).
+  std::size_t num_domains() const { return domains_.size(); }
+  /// Tiles [first, end) of domain `d` (contiguous, ascending with d).
+  TileId domain_first_tile(std::size_t d) const { return domains_[d].first; }
+  TileId domain_end_tile(std::size_t d) const { return domains_[d].end; }
+  /// The per-cycle worker team, or nullptr when stepping serially. The
+  /// traffic layer fans its per-tile draws over the same domains/team so
+  /// one barrier discipline covers the whole cycle.
+  CycleWorkerTeam* team() { return team_.get(); }
+
+  /// Flits staged across a domain boundary so far (halo exchange volume;
+  /// 0 when running with one domain).
+  std::uint64_t boundary_flits() const { return boundary_flits_; }
+
   /// Queues a packet for injection at info.src. Requires src != dst (local
   /// accesses never enter the network; handle them in the traffic layer).
+  /// Serial-phase only (between step() calls).
   void inject_packet(const PacketInfo& info);
 
-  /// Advances the network by one cycle.
+  /// Advances the network by one cycle: every domain delivers its due
+  /// events, injects from its NIs and ticks its routers (in parallel when
+  /// a team exists), then boundary events and ejections commit serially.
   void step();
 
   /// Ejections completed since the last call (cleared by the call).
   std::vector<Ejection> take_ejections();
 
   /// Packets currently inside the network or its source queues.
-  std::size_t packets_in_flight() const { return packets_.size(); }
+  std::size_t packets_in_flight() const;
   /// Flits injected into / ejected from the fabric so far (conservation).
-  std::uint64_t flits_injected() const { return flits_injected_; }
-  std::uint64_t flits_ejected() const { return flits_ejected_; }
+  std::uint64_t flits_injected() const;
+  std::uint64_t flits_ejected() const;
 
   /// Sum of router activity counters (plus link traversals counted here).
   ActivityCounters total_activity() const;
@@ -108,32 +157,80 @@ class Network {
     std::vector<PendingSink> sinks;
   };
 
-  Bucket& bucket_at(Cycle cycle);
+  /// Staged cross-boundary event: a Bucket entry plus its absolute due
+  /// cycle, parked in the producing domain's outbox until the commit
+  /// barrier routes it into the owning domain's ring.
+  struct StagedFlit {
+    Cycle due;
+    PendingFlit flit;
+  };
+  struct StagedCredit {
+    Cycle due;
+    PendingCredit credit;
+  };
+
+  /// One row band: every per-cycle mutable structure a worker touches
+  /// during the parallel phase lives here, so domains share nothing but
+  /// the (const) mesh and config until the commit barrier.
+  struct Domain {
+    TileId first = 0;
+    TileId end = 0;  ///< one past the last tile
+    RouterEngine engine;
+    /// Ring of future-event buckets for *this domain's* routers; horizon
+    /// covers the largest network-internal delay.
+    std::vector<Bucket> ring;
+    /// Nonempty source queues of this domain's NIs, bit = tile - first.
+    std::vector<std::uint64_t> ni_active_words;
+    /// Packets expected to eject in this domain (keyed by id, filled at
+    /// injection time from info.dst — the sink-side packet table).
+    std::unordered_map<PacketId, PacketInfo> expected;
+    /// Ejections produced this cycle, ascending tile order; moved to the
+    /// global list (domain order == tile order) at the commit barrier.
+    std::vector<Ejection> fresh_ejections;
+    /// Cross-boundary events staged during the parallel phase.
+    std::vector<StagedFlit> out_flits;
+    std::vector<StagedCredit> out_credits;
+    std::vector<Departure> scratch;
+    std::uint64_t flits_injected = 0;
+    std::uint64_t flits_ejected = 0;
+    std::uint64_t link_traversals = 0;
+    std::uint64_t packets_completed = 0;
+
+    Domain(const Mesh& mesh, const NetworkConfig& config, TileId first_tile,
+           TileId end_tile, std::size_t ring_size);
+  };
+
+  std::size_t domain_of(TileId tile) const {
+    return row_domain_[tile / cols_];
+  }
+  Bucket& bucket_at(Domain& d, Cycle cycle);
   TileId neighbor(TileId tile, PortDir dir) const;
 
-  void deliver_due_events();
-  void inject_from_nis();
-  void tick_routers();
-  void process_sink(const PendingSink& sink);
+  /// The parallel phase of one cycle for one domain: deliver due events,
+  /// inject from NIs, tick routers. Touches only `d`'s state (plus the
+  /// disjoint nis_ entries of `d`'s tiles).
+  void step_domain(Domain& d);
+  void deliver_due_events(Domain& d);
+  void inject_from_nis(Domain& d);
+  void tick_routers(Domain& d);
+  void process_sink(Domain& d, const PendingSink& sink);
+  /// The serial phase: routes staged boundary events into the owning
+  /// domains' rings and concatenates fresh ejections in domain order.
+  void commit_cycle();
 
   const Mesh* mesh_;
   NetworkConfig config_;
+  std::uint32_t cols_ = 1;
   Cycle now_ = 0;
 
-  RouterEngine engine_;
+  std::vector<Domain> domains_;
+  std::vector<std::size_t> row_domain_;  ///< mesh row -> owning domain
+  std::unique_ptr<CycleWorkerTeam> team_;  // null when stepping serially
+
   std::vector<Ni> nis_;
-  std::vector<std::uint64_t> ni_active_words_;  ///< nonempty source queues
-  std::unordered_map<PacketId, PacketInfo> packets_;
   std::vector<Ejection> ejections_;
-
-  // Ring of future-event buckets; horizon covers the largest network-
-  // internal delay (link latency / credit return).
-  std::vector<Bucket> ring_;
-
-  std::vector<Departure> departures_scratch_;
-  std::uint64_t flits_injected_ = 0;
-  std::uint64_t flits_ejected_ = 0;
-  std::uint64_t link_traversals_ = 0;
+  std::uint64_t packets_injected_ = 0;
+  std::uint64_t boundary_flits_ = 0;
 
   // Measurement-window snapshot (snapshot_activity).
   std::vector<ActivityCounters> measured_activity_;

@@ -27,6 +27,11 @@ const obs::Gauge g_occupancy("netsim.max_queue_occupancy");
 const obs::Timer t_batch("netsim.batch.run");
 const obs::Counter c_batches("netsim.batch.batches");
 const obs::Counter c_batch_scenarios("netsim.batch.scenarios");
+// Spatial-partition metrics (DESIGN.md §16): runs that used more than one
+// domain, the domains they summed to, and the halo-exchange volume.
+const obs::Counter c_parallel_runs("netsim.parallel.runs");
+const obs::Counter c_parallel_domains("netsim.parallel.domains");
+const obs::Counter c_parallel_boundary("netsim.parallel.boundary_flits");
 
 RouterLoadSummary summarize_load(const Network& net, const Mesh& mesh,
                                  Cycle measured) {
@@ -78,7 +83,7 @@ std::uint64_t num_directed_links(const Mesh& mesh) {
 SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
                          const SimConfig& config) {
   const obs::ScopedTimer run_scope(t_run);
-  Network net(problem.mesh(), config.network);
+  Network net(problem.mesh(), config.network, config.sim_workers);
   TrafficEngine traffic(problem, mapping, config.traffic);
 
   const std::size_t num_apps = problem.num_applications();
@@ -189,6 +194,11 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
   g_crossbar.set_max(result.load.max_crossbar_per_cycle);
   g_queue_wait.set_max(result.load.max_avg_queue_wait);
   g_occupancy.set_max(result.load.max_queue_occupancy);
+  if (net.num_domains() > 1) {
+    c_parallel_runs.add();
+    c_parallel_domains.add(net.num_domains());
+    c_parallel_boundary.add(net.boundary_flits());
+  }
   return result;
 }
 

@@ -27,6 +27,14 @@ struct SimConfig {
   /// with histogram_bins bins (tail percentiles; QoS studies).
   double histogram_max = 400.0;
   std::size_t histogram_bins = 400;
+  /// Workers stepping *this one simulation*: the mesh is spatially
+  /// partitioned into min(sim_workers, rows) row-band domains advanced in
+  /// parallel each cycle (DESIGN.md §16). Results are bit-identical at
+  /// every value; 0 resolves to the hardware concurrency. Default 1 is the
+  /// serial engine — exactly the pre-partitioning behavior. Orthogonal to
+  /// run_simulation_batch's across-scenario parallelism: use sim_workers
+  /// for one large mesh, batch workers for many scenarios.
+  std::size_t sim_workers = 1;
   TrafficConfig traffic;
   NetworkConfig network;
 };

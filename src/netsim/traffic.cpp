@@ -45,40 +45,49 @@ TrafficEngine::TrafficEngine(const ObmProblem& problem, const Mapping& mapping,
   }
 }
 
-void TrafficEngine::emit_request(Network& net, Cycle now, TileSource& src,
-                                 TileId tile, PacketClass cls,
-                                 std::vector<LocalAccess>& locals) {
+void TrafficEngine::draw_tile(TileId tile, std::vector<DrawEntry>& out) {
   const Mesh& mesh = problem_->mesh();
-  TileId dst = 0;
-  if (cls == PacketClass::kCacheRequest) {
-    // Address-hashed bank: uniform over all tiles, including this one.
-    dst = static_cast<TileId>(
-        src.rng.uniform_u32(static_cast<std::uint32_t>(mesh.num_tiles())));
-  } else {
-    dst = mesh.nearest_mc(tile);
+  TileSource& src = sources_[tile];
+  double burst_gain = 1.0;
+  if (config_.bursty &&
+      (src.cache_per_cycle > 0.0 || src.memory_per_cycle > 0.0)) {
+    // Two-state Markov modulation: ON at rate/duty, OFF at zero; dwell
+    // times chosen so the long-run mean rate is unchanged.
+    const double t_on = config_.burst_duty * config_.burst_dwell_cycles;
+    const double t_off =
+        (1.0 - config_.burst_duty) * config_.burst_dwell_cycles;
+    if (src.burst_on) {
+      if (src.rng.bernoulli(std::min(1.0, 1.0 / t_on))) {
+        src.burst_on = false;
+      }
+    } else if (src.rng.bernoulli(std::min(1.0, 1.0 / t_off))) {
+      src.burst_on = true;
+    }
+    if (!src.burst_on) return;
+    burst_gain = 1.0 / config_.burst_duty;
   }
 
-  if (dst == tile) {
-    // Local access: no packets at all; record request and reply as
-    // zero-latency samples to stay comparable with the analytic average.
-    locals.push_back({cls, src.app, src.thread});
-    locals.push_back({cls == PacketClass::kCacheRequest
-                          ? PacketClass::kCacheReply
-                          : PacketClass::kMemoryReply,
-                      src.app, src.thread});
-    return;
+  for (const auto& [base_rate, cls] :
+       {std::pair{src.cache_per_cycle, PacketClass::kCacheRequest},
+        std::pair{src.memory_per_cycle, PacketClass::kMemoryRequest}}) {
+    const double rate = base_rate * burst_gain;
+    if (rate <= 0.0) continue;
+    // Rates above one request/cycle inject the integer part
+    // deterministically plus a Bernoulli fractional part.
+    auto count = static_cast<std::uint32_t>(rate);
+    if (src.rng.bernoulli(rate - std::floor(rate))) ++count;
+    for (std::uint32_t c = 0; c < count; ++c) {
+      TileId dst = 0;
+      if (cls == PacketClass::kCacheRequest) {
+        // Address-hashed bank: uniform over all tiles, including this one.
+        dst = static_cast<TileId>(src.rng.uniform_u32(
+            static_cast<std::uint32_t>(mesh.num_tiles())));
+      } else {
+        dst = mesh.nearest_mc(tile);
+      }
+      out.push_back({tile, cls, dst});
+    }
   }
-
-  PacketInfo info;
-  info.id = next_id_++;
-  info.cls = cls;
-  info.src = tile;
-  info.dst = dst;
-  info.flits = net.config().short_packet_flits;
-  info.app = src.app;
-  info.thread = src.thread;
-  info.created = now;
-  net.inject_packet(info);
 }
 
 void TrafficEngine::generate(Network& net, Cycle now,
@@ -102,39 +111,51 @@ void TrafficEngine::generate(Network& net, Cycle now,
 
   if (!generating_) return;
 
-  for (TileId tile = 0; tile < sources_.size(); ++tile) {
-    TileSource& src = sources_[tile];
-    double burst_gain = 1.0;
-    if (config_.bursty &&
-        (src.cache_per_cycle > 0.0 || src.memory_per_cycle > 0.0)) {
-      // Two-state Markov modulation: ON at rate/duty, OFF at zero; dwell
-      // times chosen so the long-run mean rate is unchanged.
-      const double t_on = config_.burst_duty * config_.burst_dwell_cycles;
-      const double t_off =
-          (1.0 - config_.burst_duty) * config_.burst_dwell_cycles;
-      if (src.burst_on) {
-        if (src.rng.bernoulli(std::min(1.0, 1.0 / t_on))) {
-          src.burst_on = false;
-        }
-      } else if (src.rng.bernoulli(std::min(1.0, 1.0 / t_off))) {
-        src.burst_on = true;
-      }
-      if (!src.burst_on) continue;
-      burst_gain = 1.0 / config_.burst_duty;
+  // Draw phase: per-tile RNG advances, fanned over the network's domains.
+  // The serial path (one domain, no team) runs the identical code.
+  const std::size_t nd = net.num_domains();
+  draw_entries_.resize(std::max(draw_entries_.size(), nd));
+  auto draw_domain = [&](std::size_t d) {
+    std::vector<DrawEntry>& out = draw_entries_[d];
+    out.clear();
+    const TileId end = net.domain_end_tile(d);
+    for (TileId tile = net.domain_first_tile(d); tile < end; ++tile) {
+      draw_tile(tile, out);
     }
+  };
+  if (CycleWorkerTeam* team = net.team()) {
+    team->run(draw_domain);
+  } else {
+    for (std::size_t d = 0; d < nd; ++d) draw_domain(d);
+  }
 
-    for (const auto& [base_rate, cls] :
-         {std::pair{src.cache_per_cycle, PacketClass::kCacheRequest},
-          std::pair{src.memory_per_cycle, PacketClass::kMemoryRequest}}) {
-      const double rate = base_rate * burst_gain;
-      if (rate <= 0.0) continue;
-      // Rates above one request/cycle inject the integer part
-      // deterministically plus a Bernoulli fractional part.
-      auto count = static_cast<std::uint32_t>(rate);
-      if (src.rng.bernoulli(rate - std::floor(rate))) ++count;
-      for (std::uint32_t c = 0; c < count; ++c) {
-        emit_request(net, now, src, tile, cls, locals);
+  // Commit phase (serial): domains ascend and tiles ascend within each, so
+  // ids and local-access records land in ascending-tile order — the serial
+  // engine's exact sequence.
+  for (std::size_t d = 0; d < nd; ++d) {
+    for (const DrawEntry& e : draw_entries_[d]) {
+      const TileSource& src = sources_[e.tile];
+      if (e.dst == e.tile) {
+        // Local access: no packets at all; record request and reply as
+        // zero-latency samples to stay comparable with the analytic
+        // average.
+        locals.push_back({e.cls, src.app, src.thread});
+        locals.push_back({e.cls == PacketClass::kCacheRequest
+                              ? PacketClass::kCacheReply
+                              : PacketClass::kMemoryReply,
+                          src.app, src.thread});
+        continue;
       }
+      PacketInfo info;
+      info.id = next_id_++;
+      info.cls = e.cls;
+      info.src = e.tile;
+      info.dst = e.dst;
+      info.flits = net.config().short_packet_flits;
+      info.app = src.app;
+      info.thread = src.thread;
+      info.created = now;
+      net.inject_packet(info);
     }
   }
 }

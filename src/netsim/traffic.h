@@ -58,6 +58,14 @@ class TrafficEngine {
 
   /// Generates this cycle's new requests and due replies into the network.
   /// Appends zero-latency local accesses (if any) to `locals`.
+  ///
+  /// Two-phase for the partitioned network (DESIGN.md §16): every tile's
+  /// draws (burst transitions, emission counts, destinations) touch only
+  /// that tile's RNG stream, so the per-tile loop fans out over the
+  /// network's row-band domains on its worker team; packet ids are then
+  /// assigned and packets injected in a serial commit that walks domains —
+  /// and tiles within them — in ascending order, reproducing the serial
+  /// engine's id sequence and local-access order bit for bit.
   void generate(Network& net, Cycle now, std::vector<LocalAccess>& locals);
 
   /// Feeds back an ejected request (or forward) so the next packet of its
@@ -83,8 +91,19 @@ class TrafficEngine {
     bool burst_on = true;  ///< current Markov state (bursty mode only)
   };
 
-  void emit_request(Network& net, Cycle now, TileSource& src, TileId tile,
-                    PacketClass cls, std::vector<LocalAccess>& locals);
+  /// One emission decided during the draw phase: a request of class `cls`
+  /// from `tile` to `dst` (dst == tile → zero-latency local access). The
+  /// commit phase turns these into packet ids and injections.
+  struct DrawEntry {
+    TileId tile;
+    PacketClass cls;
+    TileId dst;
+  };
+
+  /// Draw phase for one tile: advances the tile's RNG/burst state and
+  /// appends this cycle's emissions to `out`. Domain-parallel safe — reads
+  /// and writes only sources_[tile] and `out`.
+  void draw_tile(TileId tile, std::vector<DrawEntry>& out);
 
   /// Schedules a follow-up packet (reply or forward) of a transaction.
   void schedule(Cycle due, PacketClass cls, TileId src, TileId dst,
@@ -99,6 +118,8 @@ class TrafficEngine {
   bool generating_ = true;
   // Follow-up packets due at a cycle.
   std::multimap<Cycle, PacketInfo> pending_replies_;
+  // Per-domain draw buffers, reused across cycles (indexed by domain).
+  std::vector<std::vector<DrawEntry>> draw_entries_;
 };
 
 }  // namespace nocmap

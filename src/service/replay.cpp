@@ -109,4 +109,11 @@ double percentile_us(std::vector<double> values, double p) {
   return values[idx];
 }
 
+SimResult simulate_snapshot(const MappingService& service,
+                            const SimConfig& config) {
+  const ObmProblem problem = service.snapshot_problem();
+  const Mapping mapping = service.snapshot_mapping();
+  return run_simulation(problem, mapping, config);
+}
+
 }  // namespace nocmap::service

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "netsim/sim.h"
 #include "service/events.h"
 #include "service/mapping_service.h"
 
@@ -55,5 +56,16 @@ ReplayStats replay_trace(MappingService& service,
 
 /// p-th percentile (0..100) of `values` by nearest-rank; 0 when empty.
 double percentile_us(std::vector<double> values, double p);
+
+/// Cycle-accurate validation of the service's *current* placement: runs the
+/// snapshot problem + mapping through run_simulation. The analytic model
+/// drives every online decision; this is the measured ground truth for the
+/// state those decisions left the chip in. Set config.sim_workers > 1 to
+/// spend cores inside the one simulation (DESIGN.md §16) — a service
+/// snapshot is a single large scenario, exactly the shape batch-level
+/// parallelism cannot help with. Results are bit-identical at any worker
+/// count.
+SimResult simulate_snapshot(const MappingService& service,
+                            const SimConfig& config);
 
 }  // namespace nocmap::service

@@ -278,8 +278,12 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         const SweepScenario& scenario = expansion.scenarios[next + i];
         if (scenario.spec.torus) continue;
         sim_slot[i] = batch.size();
+        SimConfig sim_config = sim_config_for(spec, scenario.spec);
+        // Within-simulation partitioning: an execution knob, invisible in
+        // the records (bit-identical at every width).
+        sim_config.sim_workers = options.sim_workers;
         batch.push_back(BatchScenario{runs[i].problem.get(), &runs[i].mapping,
-                                      sim_config_for(spec, scenario.spec)});
+                                      sim_config});
       }
     }
     const std::vector<SimResult> sims =

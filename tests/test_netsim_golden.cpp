@@ -150,13 +150,25 @@ void expect_matches(const SimResult& r, const GoldenCase& g) {
   EXPECT_EQ(r.flits_ejected, g.flits_ejected);
 }
 
+// Every pinned scenario must hit the golden numbers at every partition
+// width: 1 (serial engine), 2, and 8 row-band domains. The partitioned
+// step's determinism argument (DESIGN.md §16) is exactly the claim under
+// test — domain decomposition, halo exchange, and the commit barrier must
+// be invisible in the results, down to the last bit of every hexfloat.
+const std::size_t kGoldenWorkerCounts[] = {1, 2, 8};
+
 TEST(NetsimGolden, SmallProblemScenariosAreBitIdenticalToSeedEngine) {
   const ObmProblem p = small_problem();
   const Mapping id16 = p.identity_mapping();
   for (const GoldenCase& g : golden_table()) {
     if (std::string(g.tag) == "c1-sss-8x8") continue;
-    SCOPED_TRACE(g.tag);
-    expect_matches(run_simulation(p, id16, config_for(g.tag)), g);
+    for (const std::size_t workers : kGoldenWorkerCounts) {
+      SCOPED_TRACE(std::string(g.tag) + " workers=" +
+                   std::to_string(workers));
+      SimConfig c = config_for(g.tag);
+      c.sim_workers = workers;
+      expect_matches(run_simulation(p, id16, c), g);
+    }
   }
 }
 
@@ -168,7 +180,12 @@ TEST(NetsimGolden, PaperScaleSssMappingIsBitIdenticalToSeedEngine) {
   const Mapping m = sss.map(p);
   const GoldenCase& g = golden_table().back();
   ASSERT_STREQ(g.tag, "c1-sss-8x8");
-  expect_matches(run_simulation(p, m, config_for(g.tag)), g);
+  for (const std::size_t workers : kGoldenWorkerCounts) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    SimConfig c = config_for(g.tag);
+    c.sim_workers = workers;
+    expect_matches(run_simulation(p, m, c), g);
+  }
 }
 
 // The batch API must agree exactly with serial run_simulation calls — a

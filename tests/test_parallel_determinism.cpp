@@ -248,6 +248,94 @@ TEST(ParallelDeterminismNetsim, BatchAcrossWorkerCounts) {
 }
 
 // ---------------------------------------------------------------------------
+// Spatially partitioned netsim (DESIGN.md §16): one simulation stepped by
+// several workers over row-band domains must be bit-identical to the serial
+// engine — full SimResult, histograms included. This is within-simulation
+// parallelism, orthogonal to the batch fan-out above.
+
+void expect_sim_results_identical(const SimResult& s, const SimResult& q) {
+  ASSERT_EQ(q.apl.size(), s.apl.size());
+  for (std::size_t a = 0; a < s.apl.size(); ++a) {
+    EXPECT_EQ(q.apl[a], s.apl[a]) << "app " << a;
+  }
+  EXPECT_EQ(q.max_apl, s.max_apl);
+  EXPECT_EQ(q.dev_apl, s.dev_apl);
+  EXPECT_EQ(q.g_apl, s.g_apl);
+  EXPECT_EQ(q.packets_measured, s.packets_measured);
+  EXPECT_EQ(q.local_accesses, s.local_accesses);
+  EXPECT_EQ(q.flits_injected, s.flits_injected);
+  EXPECT_EQ(q.flits_ejected, s.flits_ejected);
+  EXPECT_EQ(q.activity.crossbar_traversals, s.activity.crossbar_traversals);
+  EXPECT_EQ(q.activity.link_traversals, s.activity.link_traversals);
+  EXPECT_EQ(q.activity.queue_wait_cycles, s.activity.queue_wait_cycles);
+  EXPECT_EQ(q.load.max_crossbar_per_cycle, s.load.max_crossbar_per_cycle);
+  EXPECT_EQ(q.load.link_utilization, s.load.link_utilization);
+  EXPECT_EQ(q.load.hottest_router, s.load.hottest_router);
+  ASSERT_EQ(q.per_app_histogram.size(), s.per_app_histogram.size());
+  for (std::size_t a = 0; a < s.per_app_histogram.size(); ++a) {
+    const Histogram& hs = s.per_app_histogram[a];
+    const Histogram& hq = q.per_app_histogram[a];
+    ASSERT_EQ(hq.bins(), hs.bins());
+    EXPECT_EQ(hq.total(), hs.total());
+    for (std::size_t b = 0; b < hs.bins(); ++b) {
+      EXPECT_EQ(hq.bin_count(b), hs.bin_count(b))
+          << "app " << a << " bin " << b;
+    }
+  }
+}
+
+TEST(ParallelDeterminismNetsim, PartitionedSimAcrossWorkerCounts) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const ObmProblem p = seeded_problem(8, seed);
+    const Mapping id = p.identity_mapping();
+    SimConfig config;
+    config.warmup_cycles = 500;
+    config.measure_cycles = 4000;
+    config.traffic.injection_scale = 1.0 + static_cast<double>(seed);
+    config.sim_workers = 1;
+    const SimResult serial = run_simulation(p, id, config);
+    for (const std::size_t workers : kWorkerCounts) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " at " +
+                   std::to_string(workers) + " sim workers");
+      config.sim_workers = workers;
+      expect_sim_results_identical(serial, run_simulation(p, id, config));
+    }
+  }
+}
+
+TEST(ParallelDeterminismNetsim, PartitionedSimComposesWithBatchWorkers) {
+  // Both levels at once: a batch fanned over scenario workers where each
+  // scenario also partitions its own mesh. The two teams must not
+  // interfere — results stay bit-identical to fully-serial execution.
+  const ObmProblem p = seeded_problem(8, 2);
+  const Mapping id = p.identity_mapping();
+  std::vector<SimConfig> configs(3);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].warmup_cycles = 500;
+    configs[i].measure_cycles = 3000;
+    configs[i].traffic.injection_scale = 1.0 + static_cast<double>(i);
+  }
+
+  std::vector<BatchScenario> serial_batch;
+  for (const SimConfig& c : configs) serial_batch.push_back({&p, &id, c});
+  const std::vector<SimResult> serial =
+      run_simulation_batch(serial_batch, ParallelConfig::serial_config());
+
+  std::vector<SimConfig> partitioned = configs;
+  for (SimConfig& c : partitioned) c.sim_workers = 4;
+  std::vector<BatchScenario> nested_batch;
+  for (const SimConfig& c : partitioned) nested_batch.push_back({&p, &id, c});
+  const std::vector<SimResult> nested =
+      run_simulation_batch(nested_batch, ParallelConfig{2, true});
+
+  ASSERT_EQ(nested.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    expect_sim_results_identical(serial[i], nested[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Genetic search: serial breeding stream, parallel fitness slots.
 
 TEST(ParallelDeterminismGa, Mesh8x8AcrossWorkerCounts) {

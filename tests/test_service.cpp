@@ -203,6 +203,32 @@ TEST(Service, ObjectiveMatchesBatchEvaluator) {
             engine.objective() * (1.0 + 1e-9));
 }
 
+TEST(Service, SimulateSnapshotMatchesDirectSimAndIsWorkerInvariant) {
+  // The cycle-accurate validation of the final placement must equal a
+  // direct run_simulation on the snapshot — and be bit-identical whether
+  // the one simulation is stepped serially or spatially partitioned.
+  MappingService service(test_chip(), ServiceConfig{});
+  const std::vector<Event> events = test_trace(200);
+  replay_trace(service, events);
+
+  SimConfig config;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 1500;
+  const SimResult direct = run_simulation(
+      service.snapshot_problem(), service.snapshot_mapping(), config);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(workers);
+    config.sim_workers = workers;
+    const SimResult sim = simulate_snapshot(service, config);
+    EXPECT_EQ(sim.g_apl, direct.g_apl);
+    EXPECT_EQ(sim.max_apl, direct.max_apl);
+    EXPECT_EQ(sim.packets_measured, direct.packets_measured);
+    EXPECT_EQ(sim.flits_injected, direct.flits_injected);
+    EXPECT_EQ(sim.flits_ejected, direct.flits_ejected);
+  }
+}
+
 TEST(Service, TraceGeneratorIsDeterministicAndCapacityAware) {
   TraceConfig config;
   config.seed = 77;

@@ -38,6 +38,11 @@ void usage(std::ostream& os) {
      << "  --max-app N     largest application thread count (default 16)\n"
      << "  --sample K      sample incremental-vs-fresh objective every K\n"
      << "                  events (default 0 = off)\n"
+     << "  --simulate      after the replay, run the final placement\n"
+     << "                  through the cycle-accurate netsim (measured\n"
+     << "                  ground truth for the analytic decisions)\n"
+     << "  --sim-workers W spatial-partition workers for --simulate\n"
+     << "                  (default 1, 0=all cores; results identical)\n"
      << "  --json PATH     also write the summary as JSON\n";
 }
 
@@ -51,6 +56,8 @@ int main(int argc, char** argv) {
   std::uint32_t mesh_side = 8;
   std::size_t workers = 1;
   std::size_t sample_period = 0;
+  bool simulate = false;
+  std::size_t sim_workers = 1;
   std::string json_path;
 
   try {
@@ -80,6 +87,10 @@ int main(int argc, char** argv) {
             static_cast<std::uint32_t>(std::stoul(value()));
       } else if (arg == "--sample") {
         sample_period = std::stoul(value());
+      } else if (arg == "--simulate") {
+        simulate = true;
+      } else if (arg == "--sim-workers") {
+        sim_workers = std::stoul(value());
       } else if (arg == "--json") {
         json_path = value();
       } else if (arg == "--help" || arg == "-h") {
@@ -136,6 +147,32 @@ int main(int argc, char** argv) {
     std::cout << "\ndecision digest: " << std::hex << stats.digest
               << std::dec << "\n";
 
+    bool simulated = false;
+    SimResult sim;
+    if (simulate) {
+      // Measured ground truth for the final chip state the analytic
+      // decisions produced — one large scenario, so the partition workers
+      // are the only parallelism that helps.
+      SimConfig sim_config;
+      sim_config.warmup_cycles = 500;
+      sim_config.measure_cycles = 5000;
+      sim_config.sim_workers = sim_workers;
+      sim = service::simulate_snapshot(engine, sim_config);
+      simulated = sim.packets_measured > 0;
+      std::cout << "\nfinal-snapshot netsim (" << sim_workers
+                << " sim worker(s)):\n";
+      TextTable st({"metric", "value"});
+      st.add_row({"measured G-APL [cycles]", fmt(sim.g_apl)});
+      st.add_row({"measured max APL [cycles]", fmt(sim.max_apl)});
+      st.add_row({"packets measured",
+                  std::to_string(sim.packets_measured)});
+      st.add_row({"link utilization", fmt(sim.load.link_utilization, 4)});
+      st.print(std::cout);
+      if (!simulated) {
+        std::cout << "(snapshot has no resident traffic to simulate)\n";
+      }
+    }
+
     if (!json_path.empty()) {
       std::ofstream os(json_path);
       if (!os) throw Error("cannot write " + json_path);
@@ -150,8 +187,15 @@ int main(int argc, char** argv) {
          << "  \"degraded\": " << stats.degraded << ",\n"
          << "  \"moved_threads\": " << stats.moved_threads << ",\n"
          << "  \"mean_objective_ratio\": " << stats.mean_objective_ratio
-         << ",\n"
-         << "  \"digest\": \"" << std::hex << stats.digest << std::dec
+         << ",\n";
+      if (simulate) {
+        os << "  \"sim_g_apl\": " << sim.g_apl << ",\n"
+           << "  \"sim_max_apl\": " << sim.max_apl << ",\n"
+           << "  \"sim_packets_measured\": " << sim.packets_measured
+           << ",\n"
+           << "  \"sim_workers\": " << sim_workers << ",\n";
+      }
+      os << "  \"digest\": \"" << std::hex << stats.digest << std::dec
          << "\"\n"
          << "}\n";
       std::cout << "[json: " << json_path << "]\n";

@@ -39,6 +39,9 @@ int usage(const char* argv0) {
       << "  run SPEC               run (or resume) the campaign\n"
       << "    --out DIR            campaign directory (default 'campaign')\n"
       << "    --threads N          workers (default $NOCMAP_THREADS, 0=all)\n"
+      << "    --sim-workers N      spatial-partition workers inside each\n"
+      << "                         simulation (default 1, 0=all cores;\n"
+      << "                         results are bit-identical at any value)\n"
       << "    --chunk N            scenarios per commit chunk (default 64)\n"
       << "    --max-scenarios N    stop after N new scenarios (0 = all)\n"
       << "    --quiet              no per-chunk progress lines\n"
@@ -115,6 +118,9 @@ int cmd_run(int argc, char** argv) {
     } else if (arg == "--threads") {
       options.parallel.num_threads =
           std::stoull(require_value(argc, argv, i, "--threads"));
+    } else if (arg == "--sim-workers") {
+      options.sim_workers =
+          std::stoull(require_value(argc, argv, i, "--sim-workers"));
     } else if (arg == "--chunk") {
       options.chunk_size =
           std::stoull(require_value(argc, argv, i, "--chunk"));
