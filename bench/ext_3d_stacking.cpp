@@ -1,0 +1,102 @@
+// Extension: does die stacking ease or worsen the balance problem? A
+// 256-tile chip can be built flat (16x16 planar mesh) or stacked (4 layers
+// of 8x8 with TSV links). Stacking shrinks the network diameter — average
+// distances drop, so TC(k) and its spread both fall — but the compression
+// depends on the vertical hop cost. This bench compares the paper's
+// headline Global-vs-SSS experiment across the two organizations at a
+// matched tile count, sweeping the TSV hop cost on the stacked side.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/contention.h"
+#include "obs/run_report.h"
+
+namespace {
+
+/// TC and TM spreads (max - min over tiles) of a latency model.
+struct Spreads {
+  double tc = 0.0;
+  double tm = 0.0;
+};
+
+Spreads spreads_of(const nocmap::TileLatencyModel& chip) {
+  using nocmap::TileId;
+  double tc_min = chip.tc(0), tc_max = chip.tc(0);
+  double tm_min = chip.tm(0), tm_max = chip.tm(0);
+  for (TileId k = 1; k < chip.mesh().num_tiles(); ++k) {
+    tc_min = std::min(tc_min, chip.tc(k));
+    tc_max = std::max(tc_max, chip.tc(k));
+    tm_min = std::min(tm_min, chip.tm(k));
+    tm_max = std::max(tm_max, chip.tm(k));
+  }
+  return {tc_max - tc_min, tm_max - tm_min};
+}
+
+}  // namespace
+
+int main() {
+  using namespace nocmap;
+  bench::print_header("ext_3d_stacking — 256 tiles, flat vs stacked",
+                      "3D extension of the paper's planar-mesh evaluation");
+
+  SynthesisOptions opt;
+  opt.num_applications = 4;
+  opt.threads_per_app = 64;
+  const Workload workload =
+      synthesize_workload(parsec_config("C1"), bench::kWorkloadSeed, opt);
+
+  struct Chip {
+    const char* name;
+    const char* key;  ///< RunReport field stem
+    Mesh mesh;
+  };
+  const std::vector<Chip> chips{
+      {"16x16 planar", "flat",
+       Mesh::square_with_placement(16, McPlacement::kCorners)},
+      {"4x8x8 tsv=0.5", "stack_tsv05",
+       Mesh::stacked_with_placement(4, 8, McPlacement::kCorners, 0.5)},
+      {"4x8x8 tsv=1.0", "stack_tsv1",
+       Mesh::stacked_with_placement(4, 8, McPlacement::kCorners, 1.0)},
+      {"4x8x8 tsv=2.0", "stack_tsv2",
+       Mesh::stacked_with_placement(4, 8, McPlacement::kCorners, 2.0)},
+  };
+
+  TextTable t({"chip", "TC spread", "TM spread", "Global max-APL",
+               "SSS max-APL", "gap", "SSS dev-APL", "max link util (SSS)"});
+  for (const Chip& chip : chips) {
+    const TileLatencyModel model(chip.mesh, LatencyParams{});
+    const Spreads s = spreads_of(model);
+
+    const ObmProblem problem(model, workload);
+    GlobalMapper global;
+    SortSelectSwapMapper sss;
+    const LatencyReport rg = evaluate(problem, global.map(problem));
+    const Mapping ms = sss.map(problem);
+    const LatencyReport rs = evaluate(problem, ms);
+    const ContentionModel contention(problem, ms);
+
+    t.add_row({chip.name, fmt(s.tc), fmt(s.tm), fmt(rg.max_apl),
+               fmt(rs.max_apl), fmt_percent(rs.max_apl / rg.max_apl - 1.0),
+               fmt(rs.dev_apl, 3), fmt(contention.max_utilization(), 3)});
+
+    const std::string stem = std::string("ext3d.") + chip.key;
+    obs::RunReport& report = obs::RunReport::global();
+    report.set(stem + ".tc_spread", s.tc);
+    report.set(stem + ".global_max_apl", rg.max_apl);
+    report.set(stem + ".sss_max_apl", rs.max_apl);
+    report.set(stem + ".gap", rs.max_apl / rg.max_apl - 1.0);
+  }
+  t.print(std::cout);
+  bench::save_table(t, "ext_3d_stacking");
+
+  std::cout << "\nReading: stacking compresses the network — at tsv=1 the "
+               "4x8x8 stack's latency\nlevels and spreads sit well below "
+               "the 16x16 plane's, so every mapper improves;\nbut the "
+               "*relative* Global-vs-SSS gap survives, because the base-die "
+               "MCs still\nbreak symmetry and TC still varies across the "
+               "stack. Costlier TSVs (tsv=2) push\nthe stack back toward "
+               "planar behaviour; cheap TSVs (tsv=0.5) flatten distances\n"
+               "and shrink what balancing can win. Stacking is a latency "
+               "lever, not a\nsubstitute for balanced mapping.\n";
+  return 0;
+}

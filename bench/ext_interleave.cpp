@@ -1,0 +1,72 @@
+// Extension: memory-traffic mode as a design knob. The paper assumes the
+// proximity principle — every tile's off-chip requests go to its nearest
+// MC (eq. 4). Real memory systems often *interleave* addresses round-robin
+// across all controllers (balancing DRAM bandwidth at the cost of NoC
+// distance), and coherence-style traffic may *multicast* one request to
+// every controller along a dimension-order tree. This bench re-runs the
+// headline comparison under all three modes on the paper's 8x8 chip and
+// reports what each does to the balance problem and to link contention.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/contention.h"
+#include "obs/run_report.h"
+
+int main() {
+  using namespace nocmap;
+  bench::print_header("ext_interleave — proximity vs interleaved vs multicast",
+                      "memory-traffic extension of the paper's eq. 4 model");
+
+  const Workload workload =
+      synthesize_workload(parsec_config("C1"), bench::kWorkloadSeed);
+  const Mesh mesh = Mesh::square(8);
+
+  TextTable t({"memory mode", "TM min", "TM spread", "Global max-APL",
+               "SSS max-APL", "gap", "max link util (SSS)"});
+  for (const MemoryTrafficMode mode :
+       {MemoryTrafficMode::kProximity, MemoryTrafficMode::kInterleaved,
+        MemoryTrafficMode::kMulticast}) {
+    const TileLatencyModel chip(mesh, LatencyParams{}, mode);
+    double tm_min = chip.tm(0), tm_max = chip.tm(0);
+    for (TileId k = 1; k < mesh.num_tiles(); ++k) {
+      tm_min = std::min(tm_min, chip.tm(k));
+      tm_max = std::max(tm_max, chip.tm(k));
+    }
+
+    const ObmProblem problem(chip, workload);
+    GlobalMapper global;
+    SortSelectSwapMapper sss;
+    const LatencyReport rg = evaluate(problem, global.map(problem));
+    const Mapping ms = sss.map(problem);
+    const LatencyReport rs = evaluate(problem, ms);
+    const ContentionModel contention(problem, ms);
+
+    t.add_row({memory_traffic_mode_name(mode), fmt(tm_min),
+               fmt(tm_max - tm_min), fmt(rg.max_apl), fmt(rs.max_apl),
+               fmt_percent(rs.max_apl / rg.max_apl - 1.0),
+               fmt(contention.max_utilization(), 3)});
+
+    const std::string stem =
+        std::string("traffic.") + memory_traffic_mode_name(mode);
+    obs::RunReport& report = obs::RunReport::global();
+    report.set(stem + ".tm_spread", tm_max - tm_min);
+    report.set(stem + ".global_max_apl", rg.max_apl);
+    report.set(stem + ".sss_max_apl", rs.max_apl);
+    report.set(stem + ".gap", rs.max_apl / rg.max_apl - 1.0);
+    report.set(stem + ".sss_max_link_util", contention.max_utilization());
+  }
+  t.print(std::cout);
+  bench::save_table(t, "ext_interleave");
+
+  std::cout << "\nReading: interleaving replaces each tile's nearest-MC "
+               "distance with the *mean*\ndistance to all MCs — TM rises "
+               "everywhere but its spread collapses to near\nzero, leaving "
+               "the cache-side spread as the only memory-side imbalance. "
+               "Multicast\nis the costliest mode: every request pays the "
+               "full dimension-order tree over\nall MCs. The Global-vs-SSS "
+               "ranking holds in every mode and the relative gap\neven "
+               "widens as the memory term grows — balanced mapping is not "
+               "an artifact of\nthe paper's proximity rule, though "
+               "proximity is where MC *placement* matters.\n";
+  return 0;
+}

@@ -53,12 +53,58 @@ int main() {
   t.print(std::cout);
   bench::save_table(t, "ext_mc_placement");
 
+  // Arbitrary MC sets: the generalized nearest-MC rule is not limited to
+  // the four symmetric schemes above. Sweep hand-picked asymmetric sets of
+  // 1..8 controllers (as a packaging or binning constraint might dictate)
+  // through the same comparison.
+  struct SetRow {
+    const char* name;
+    std::vector<TileId> mcs;
+  };
+  const std::vector<SetRow> sets{
+      {"1 MC, center", {27}},
+      {"2 MCs, west edge", {16, 40}},
+      {"3 MCs, one corner dark", {0, 7, 56}},
+      {"6 MCs, ring", {2, 5, 23, 40, 58, 61}},
+      {"8 MCs, two columns", {8, 15, 24, 31, 32, 39, 48, 55}},
+  };
+
+  TextTable t2({"MC set", "TM spread", "Global max-APL", "SSS max-APL",
+                "gap", "SSS dev-APL", "max link util (SSS)"});
+  for (const SetRow& row : sets) {
+    const Mesh mesh(8, 8, row.mcs);
+    const TileLatencyModel chip(mesh, LatencyParams{});
+    double tm_min = chip.tm(0), tm_max = chip.tm(0);
+    for (TileId k = 1; k < mesh.num_tiles(); ++k) {
+      tm_min = std::min(tm_min, chip.tm(k));
+      tm_max = std::max(tm_max, chip.tm(k));
+    }
+
+    const ObmProblem problem(chip, workload);
+    GlobalMapper global;
+    SortSelectSwapMapper sss;
+    const LatencyReport rg = evaluate(problem, global.map(problem));
+    const Mapping ms = sss.map(problem);
+    const LatencyReport rs = evaluate(problem, ms);
+    const ContentionModel contention(problem, ms);
+
+    t2.add_row({row.name, fmt(tm_max - tm_min), fmt(rg.max_apl),
+                fmt(rs.max_apl), fmt_percent(rs.max_apl / rg.max_apl - 1.0),
+                fmt(rs.dev_apl, 3), fmt(contention.max_utilization(), 3)});
+  }
+  std::cout << "\nArbitrary MC sets (generalized nearest-MC rule, 8x8):\n";
+  t2.print(std::cout);
+  bench::save_table(t2, "ext_mc_placement_sets");
+
   std::cout << "\nReading: the balance gap persists — and *widens* — for "
                "non-corner placements: with\ncorner MCs the cache-worst "
                "tiles are at least memory-best, partially compensating;\n"
                "edge or center MCs remove that compensation, so Global's "
                "imbalance grows and SSS\ncloses 17-20% instead of 13%. The "
                "paper's corner layout is the *easiest* case for\nthe "
-               "baseline, making its reported gains conservative.\n";
+               "baseline, making its reported gains conservative.\n"
+               "Asymmetric sets push further: the fewer and more lopsided "
+               "the controllers, the\nlarger the TM spread Global leaves "
+               "unbalanced and the bigger SSS's win.\n";
   return 0;
 }

@@ -236,9 +236,12 @@ OracleResult run_hungarian(const ScenarioSpec& spec) {
 // netsim oracles
 
 bool netsim_applicable(const ScenarioSpec& spec) {
-  // The cycle-level simulator models meshes only; small sides keep a fuzz
-  // iteration in the tens of milliseconds.
-  return !spec.torus && spec.mesh_side <= 5;
+  // Simulator-unsupported topologies (torus wraparound) are classified as
+  // inapplicable here — reaching the simulator would abort on its
+  // NOCMAP_REQUIRE instead of failing the oracle. A tile cap keeps a fuzz
+  // iteration in the tens of milliseconds while admitting small stacks
+  // (2×4×4, 3×3×3, ...).
+  return simulator_supported(spec) && spec.num_tiles() <= 32;
 }
 
 OracleResult run_netsim_conservation(const ScenarioSpec& spec) {
@@ -302,9 +305,14 @@ OracleResult run_netsim_conservation(const ScenarioSpec& spec) {
       sim.load.mean_crossbar_per_cycle) {
     return fail("per-router max crossbar rate below the mean");
   }
+  // Independent recount of the directed links (planar per layer + TSVs),
+  // deliberately not calling num_directed_links().
   const Mesh& mesh = problem.mesh();
-  const double links = 2.0 * (mesh.rows() * (mesh.cols() - 1) +
-                              mesh.cols() * (mesh.rows() - 1));
+  const double links =
+      2.0 * ((mesh.rows() * (mesh.cols() - 1) +
+              mesh.cols() * (mesh.rows() - 1)) *
+                 mesh.layers() +
+             (mesh.layers() - 1) * mesh.rows() * mesh.cols());
   const double expected_util =
       static_cast<double>(sim.activity.link_traversals) / (links * cycles);
   if (!rel_close(sim.load.link_utilization, expected_util) ||
@@ -518,11 +526,8 @@ OracleResult run_service_replay(const ScenarioSpec& spec) {
   trace.config = spec.config;
   const std::vector<service::Event> events = service::generate_trace(trace);
 
-  const Mesh mesh =
-      spec.torus ? Mesh::square_torus(spec.mesh_side)
-                 : Mesh::square_with_placement(spec.mesh_side,
-                                               spec.mc_placement);
-  const TileLatencyModel chip(mesh, LatencyParams{});
+  const Mesh mesh = build_mesh(spec);
+  const TileLatencyModel chip(mesh, LatencyParams{}, spec.traffic_mode);
 
   service::ServiceConfig config;
   static constexpr std::size_t kBudgets[] = {0, 1, 2, 4,

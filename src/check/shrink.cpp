@@ -6,10 +6,10 @@ namespace nocmap::check {
 
 namespace {
 
-/// Smallest square side that can host the spec's threads.
+/// Smallest square side that can host the spec's threads on its layer count.
 std::uint32_t min_side_for(const ScenarioSpec& spec) {
   std::uint32_t side = 2;
-  while (side * side < spec.num_threads()) ++side;
+  while (side * side * spec.mesh_layers < spec.num_threads()) ++side;
   return side;
 }
 
@@ -67,15 +67,35 @@ ShrinkResult shrink_scenario(const ScenarioSpec& spec, const Oracle& oracle) {
   descend([](const ScenarioSpec& s) { return s.threads_per_app; },
           [](ScenarioSpec& s, std::uint32_t v) { s.threads_per_app = v; },
           1);
+  descend([](const ScenarioSpec& s) { return s.mesh_layers; },
+          [](ScenarioSpec& s, std::uint32_t v) { s.mesh_layers = v; }, 1);
   descend([](const ScenarioSpec& s) { return s.mesh_side; },
           [](ScenarioSpec& s, std::uint32_t v) { s.mesh_side = v; },
           min_side_for(result.minimal));
+  // kRandom MC sets shrink by count; the seed keeps the drawn prefix
+  // stable, so a smaller count is a subset of the larger set.
+  if (result.minimal.mc_placement == McPlacement::kRandom) {
+    descend([](const ScenarioSpec& s) { return s.mc_count; },
+            [](ScenarioSpec& s, std::uint32_t v) { s.mc_count = v; }, 1);
+  }
 
   // Normalization: drop incidental structure the failure does not need.
   {
     ScenarioSpec candidate = result.minimal;
     candidate.torus = false;
     candidate.mc_placement = McPlacement::kCorners;
+    candidate.mc_count = 0;
+    if (candidate != result.minimal) try_accept(candidate);
+  }
+  {
+    ScenarioSpec candidate = result.minimal;
+    candidate.mesh_layers = 1;
+    candidate.tsv_hop_cost = 1.0;
+    if (candidate != result.minimal) try_accept(candidate);
+  }
+  {
+    ScenarioSpec candidate = result.minimal;
+    candidate.traffic_mode = MemoryTrafficMode::kProximity;
     if (candidate != result.minimal) try_accept(candidate);
   }
   {

@@ -1,6 +1,7 @@
 #include "core/contention.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
 namespace nocmap {
@@ -8,46 +9,114 @@ namespace nocmap {
 namespace {
 
 /// Direction slot of the link from `from` to adjacent `to`:
-/// 0=east, 1=west, 2=south, 3=north.
+/// 0=east, 1=west, 2=south, 3=north, 4=up, 5=down.
+constexpr std::size_t kLinkSlots = 6;
+
 std::size_t direction_slot(const Mesh& mesh, TileId from, TileId to) {
   const TileCoord a = mesh.coord_of(from);
   const TileCoord b = mesh.coord_of(to);
-  if (b.row == a.row && b.col == a.col + 1) return 0;
-  if (b.row == a.row && a.col == b.col + 1) return 1;
-  if (b.col == a.col && b.row == a.row + 1) return 2;
-  if (b.col == a.col && a.row == b.row + 1) return 3;
+  if (b.layer == a.layer) {
+    if (b.row == a.row && b.col == a.col + 1) return 0;
+    if (b.row == a.row && a.col == b.col + 1) return 1;
+    if (b.col == a.col && b.row == a.row + 1) return 2;
+    if (b.col == a.col && a.row == b.row + 1) return 3;
+  } else if (b.row == a.row && b.col == a.col) {
+    if (b.layer == a.layer + 1) return 4;
+    if (a.layer == b.layer + 1) return 5;
+  }
   throw Error("link endpoints are not mesh-adjacent");
+}
+
+/// Invokes fn(at, next) for every directed link on the dimension-order
+/// (X, then Y, then Z) path src→dst.
+template <typename Fn>
+void walk_path(const Mesh& mesh, TileId src, TileId dst, Fn&& fn) {
+  TileCoord here = mesh.coord_of(src);
+  const TileCoord there = mesh.coord_of(dst);
+  TileId at = src;
+  while (here.col != there.col) {
+    here.col = here.col < there.col ? here.col + 1 : here.col - 1;
+    const TileId next = mesh.tile_at(here);
+    fn(at, next);
+    at = next;
+  }
+  while (here.row != there.row) {
+    here.row = here.row < there.row ? here.row + 1 : here.row - 1;
+    const TileId next = mesh.tile_at(here);
+    fn(at, next);
+    at = next;
+  }
+  while (here.layer != there.layer) {
+    here.layer = here.layer < there.layer ? here.layer + 1 : here.layer - 1;
+    const TileId next = mesh.tile_at(here);
+    fn(at, next);
+    at = next;
+  }
 }
 
 }  // namespace
 
 std::size_t ContentionModel::link_index(TileId from, TileId to) const {
-  return static_cast<std::size_t>(from) * 4 +
+  return static_cast<std::size_t>(from) * kLinkSlots +
          direction_slot(*mesh_, from, to);
 }
 
 void ContentionModel::add_flow(TileId src, TileId dst,
                                double flits_per_cycle) {
   if (src == dst || flits_per_cycle <= 0.0) return;
-  // Walk the XY path: columns first, then rows.
-  TileCoord here = mesh_->coord_of(src);
-  const TileCoord there = mesh_->coord_of(dst);
-  TileId at = src;
-  while (here.col != there.col) {
-    const std::uint32_t next_col =
-        here.col < there.col ? here.col + 1 : here.col - 1;
-    const TileId next = mesh_->tile_at(here.row, next_col);
+  walk_path(*mesh_, src, dst, [&](TileId at, TileId next) {
     load_[link_index(at, next)] += flits_per_cycle;
-    at = next;
-    here.col = next_col;
+  });
+}
+
+void ContentionModel::add_multicast_tree(TileId from,
+                                         std::vector<TileId> dests,
+                                         double flits_per_cycle) {
+  // Mirror of TrafficEngine::emit_multicast: shared tree prefixes carry the
+  // request once; replication happens at branch points.
+  dests.erase(std::remove(dests.begin(), dests.end(), from), dests.end());
+  if (dests.empty() || flits_per_cycle <= 0.0) return;
+
+  const TileCoord here = mesh_->coord_of(from);
+  enum { kEastG, kWestG, kSouthG, kNorthG, kUpG, kDownG, kNumGroups };
+  std::array<std::vector<TileId>, kNumGroups> groups;
+  std::array<TileCoord, kNumGroups> extreme{};
+  for (TileId m : dests) {
+    const TileCoord c = mesh_->coord_of(m);
+    std::size_t g;
+    if (c.col > here.col) g = kEastG;
+    else if (c.col < here.col) g = kWestG;
+    else if (c.row > here.row) g = kSouthG;
+    else if (c.row < here.row) g = kNorthG;
+    else if (c.layer > here.layer) g = kUpG;
+    else g = kDownG;
+    if (groups[g].empty()) {
+      extreme[g] = c;
+    } else {
+      switch (g) {
+        case kEastG: extreme[g].col = std::min(extreme[g].col, c.col); break;
+        case kWestG: extreme[g].col = std::max(extreme[g].col, c.col); break;
+        case kSouthG: extreme[g].row = std::min(extreme[g].row, c.row); break;
+        case kNorthG: extreme[g].row = std::max(extreme[g].row, c.row); break;
+        case kUpG:
+          extreme[g].layer = std::min(extreme[g].layer, c.layer);
+          break;
+        case kDownG:
+          extreme[g].layer = std::max(extreme[g].layer, c.layer);
+          break;
+      }
+    }
+    groups[g].push_back(m);
   }
-  while (here.row != there.row) {
-    const std::uint32_t next_row =
-        here.row < there.row ? here.row + 1 : here.row - 1;
-    const TileId next = mesh_->tile_at(next_row, here.col);
-    load_[link_index(at, next)] += flits_per_cycle;
-    at = next;
-    here.row = next_row;
+  for (std::size_t g = 0; g < kNumGroups; ++g) {
+    if (groups[g].empty()) continue;
+    TileCoord next = here;
+    if (g == kEastG || g == kWestG) next.col = extreme[g].col;
+    else if (g == kSouthG || g == kNorthG) next.row = extreme[g].row;
+    else next.layer = extreme[g].layer;
+    const TileId endpoint = mesh_->tile_at(next);
+    add_flow(from, endpoint, flits_per_cycle);
+    add_multicast_tree(endpoint, std::move(groups[g]), flits_per_cycle);
   }
 }
 
@@ -59,10 +128,12 @@ ContentionModel::ContentionModel(const ObmProblem& problem,
                  "contention model needs a valid mapping");
   NOCMAP_REQUIRE(config.injection_scale > 0.0,
                  "injection scale must be positive");
-  load_.assign(problem.num_tiles() * 4, 0.0);
+  load_.assign(problem.num_tiles() * kLinkSlots, 0.0);
 
   const Workload& wl = problem.workload();
   const auto n = static_cast<double>(problem.num_tiles());
+  const MemoryTrafficMode mode = problem.model().mode();
+  const auto mcs = mesh_->mc_tiles();
 
   for (std::size_t j = 0; j < wl.num_threads(); ++j) {
     const ThreadProfile& t = wl.thread(j);
@@ -83,10 +154,36 @@ ContentionModel::ContentionModel(const ObmProblem& problem,
       }
     }
     if (memory_rate > 0.0) {
-      const TileId mc = problem.mesh().nearest_mc(s);
-      add_flow(s, mc, memory_rate * config.request_flits);
-      if (config.include_replies) {
-        add_flow(mc, s, memory_rate * config.reply_flits);
+      switch (mode) {
+        case MemoryTrafficMode::kProximity: {
+          const TileId mc = mesh_->nearest_mc(s);
+          add_flow(s, mc, memory_rate * config.request_flits);
+          if (config.include_replies) {
+            add_flow(mc, s, memory_rate * config.reply_flits);
+          }
+          break;
+        }
+        case MemoryTrafficMode::kInterleaved: {
+          const double per_mc =
+              memory_rate / static_cast<double>(mcs.size());
+          for (TileId mc : mcs) {
+            add_flow(s, mc, per_mc * config.request_flits);
+            if (config.include_replies) {
+              add_flow(mc, s, per_mc * config.reply_flits);
+            }
+          }
+          break;
+        }
+        case MemoryTrafficMode::kMulticast: {
+          add_multicast_tree(s, {mcs.begin(), mcs.end()},
+                             memory_rate * config.request_flits);
+          // One data reply, from the designated responder (nearest MC).
+          if (config.include_replies) {
+            add_flow(mesh_->nearest_mc(s), s,
+                     memory_rate * config.reply_flits);
+          }
+          break;
+        }
       }
     }
   }
@@ -103,9 +200,12 @@ double ContentionModel::max_utilization() const {
 double ContentionModel::mean_utilization() const {
   // Count only physical links (border tiles lack some directions; their
   // slots stay zero and are excluded).
-  const std::size_t links =
+  const std::size_t planar =
       2 * (mesh_->rows() * (mesh_->cols() - 1) +
-           mesh_->cols() * (mesh_->rows() - 1));
+           mesh_->cols() * (mesh_->rows() - 1)) * mesh_->layers();
+  const std::size_t vertical =
+      2 * (mesh_->layers() - 1) * mesh_->tiles_per_layer();
+  const std::size_t links = planar + vertical;
   double sum = 0.0;
   for (double u : load_) sum += u;
   return links > 0 ? sum / static_cast<double>(links) : 0.0;
@@ -125,25 +225,9 @@ double ContentionModel::expected_packet_queuing(TileId src,
                                                 TileId dst) const {
   if (src == dst) return 0.0;
   double total = 0.0;
-  TileCoord here = mesh_->coord_of(src);
-  const TileCoord there = mesh_->coord_of(dst);
-  TileId at = src;
-  while (here.col != there.col) {
-    const std::uint32_t next_col =
-        here.col < there.col ? here.col + 1 : here.col - 1;
-    const TileId next = mesh_->tile_at(here.row, next_col);
+  walk_path(*mesh_, src, dst, [&](TileId at, TileId next) {
     total += queue_delay(link_load(at, next));
-    at = next;
-    here.col = next_col;
-  }
-  while (here.row != there.row) {
-    const std::uint32_t next_row =
-        here.row < there.row ? here.row + 1 : here.row - 1;
-    const TileId next = mesh_->tile_at(next_row, here.col);
-    total += queue_delay(link_load(at, next));
-    at = next;
-    here.row = next_row;
-  }
+  });
   return total;
 }
 

@@ -3,10 +3,13 @@
 // The paper's latency model treats the per-hop queuing delay td_q as a
 // small constant, justified empirically (0..1 cycles at its loads). This
 // module derives the queuing from first principles for a *given mapping*:
-// it accumulates per-link flit rates by walking every traffic flow's XY
-// path (cache requests fan out uniformly to all banks, replies return,
-// memory requests target the nearest MC), then estimates per-link waiting
-// with an M/D/1 approximation (unit service: one flit per cycle per link):
+// it accumulates per-link flit rates by walking every traffic flow's
+// dimension-order (XYZ) path (cache requests fan out uniformly to all
+// banks, replies return, memory requests follow the problem's
+// MemoryTrafficMode — nearest MC, round-robin over all MCs, or the
+// dimension-order multicast tree whose shared prefixes carry each request
+// once), then estimates per-link waiting with an M/D/1 approximation (unit
+// service: one flit per cycle per link):
 //
 //     W(u) = u / (2·(1 − u))   cycles of queueing per flit
 //
@@ -53,7 +56,7 @@ class ContentionModel {
   /// capacity to stay finite.
   static double queue_delay(double utilization);
 
-  /// Expected queuing a packet accumulates along the XY path src→dst.
+  /// Expected queuing a packet accumulates along the XYZ path src→dst.
   double expected_packet_queuing(TileId src, TileId dst) const;
 
   /// Flit-weighted average per-hop queuing — the model's td_q estimate,
@@ -67,9 +70,11 @@ class ContentionModel {
  private:
   std::size_t link_index(TileId from, TileId to) const;
   void add_flow(TileId src, TileId dst, double flits_per_cycle);
+  void add_multicast_tree(TileId from, std::vector<TileId> dests,
+                          double flits_per_cycle);
 
   const Mesh* mesh_;
-  std::vector<double> load_;  // 4 directed link slots per tile
+  std::vector<double> load_;  // 6 directed link slots per tile
 };
 
 }  // namespace nocmap

@@ -15,17 +15,41 @@
 //          the probability that the hashed bank is a *different* tile. This
 //          factor is pinned by the paper's own Figure-5 arithmetic
 //          (10.3375 / 11.5375 cycles), which our tests reproduce exactly.
-//   TM(k): latency of a memory-controller request from tile k to its nearest
-//          MC (eq. 4); serialization applies unless tile k itself hosts the
-//          MC.
+//   TM(k): latency of a memory-controller request from tile k (eq. 4);
+//          serialization applies unless the request stays on-tile. The
+//          destination depends on the memory-traffic mode: the nearest MC
+//          under proximity routing (the paper's rule, generalized to a
+//          weighted-distance Voronoi partition over arbitrary MC sets), the
+//          mean over all MCs under DRAM interleaving (round-robin converges
+//          to the uniform average), or the farthest MC under multicast (the
+//          request completes when the last replica arrives).
+//
+// On a 3D stacked mesh all hop counts are TSV-weighted (Mesh::weighted_hops),
+// which reduces to the plain Manhattan distance on a 2D mesh.
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "topology/mesh.h"
 
 namespace nocmap {
+
+/// How memory requests pick their MC destination (Section II.C generalized).
+enum class MemoryTrafficMode : std::uint8_t {
+  kProximity,    ///< nearest MC by weighted distance (the paper's rule)
+  kInterleaved,  ///< round-robin over all MCs (address-interleaved DRAM)
+  kMulticast,    ///< one request replicated to every MC at branch routers
+};
+
+/// Mode name used by scenario repro files and sweep specs.
+const char* memory_traffic_mode_name(MemoryTrafficMode mode);
+
+/// Parses a mode name; returns false (and leaves `out` untouched) for an
+/// unknown name.
+bool memory_traffic_mode_from_name(const std::string& name,
+                                   MemoryTrafficMode& out);
 
 /// Timing parameters of eq. 2, in cycles.
 struct LatencyParams {
@@ -57,27 +81,32 @@ struct PacketMix {
 /// problem statement (Section III.B). Immutable after construction.
 class TileLatencyModel {
  public:
-  TileLatencyModel(const Mesh& mesh, const LatencyParams& params);
+  TileLatencyModel(const Mesh& mesh, const LatencyParams& params,
+                   MemoryTrafficMode mode = MemoryTrafficMode::kProximity);
 
   const Mesh& mesh() const { return mesh_; }
   const LatencyParams& params() const { return params_; }
+  MemoryTrafficMode mode() const { return mode_; }
 
   /// Expected cache-packet latency from tile k (cycles).
   double tc(TileId k) const { return tc_[k]; }
-  /// Memory-request latency from tile k to its nearest MC (cycles).
+  /// Memory-request latency from tile k (cycles; destination per mode()).
   double tm(TileId k) const { return tm_[k]; }
 
   std::span<const double> tc_array() const { return tc_; }
   std::span<const double> tm_array() const { return tm_; }
 
-  /// Average hop count HC_k of eq. 3 (exposed for Fig. 3 and validation).
+  /// Average hop count HC_k of eq. 3 (exposed for Fig. 3 and validation;
+  /// TSV-weighted on a stacked mesh).
   double hc(TileId k) const { return hc_[k]; }
-  /// Nearest-MC hop count HM_k of eq. 4.
+  /// Memory hop count HM_k of eq. 4 generalized per mode(): nearest /
+  /// mean / farthest weighted MC distance.
   double hm(TileId k) const { return hm_[k]; }
 
  private:
   Mesh mesh_;
   LatencyParams params_;
+  MemoryTrafficMode mode_ = MemoryTrafficMode::kProximity;
   std::vector<double> hc_;
   std::vector<double> hm_;
   std::vector<double> tc_;

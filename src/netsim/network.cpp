@@ -49,16 +49,18 @@ Network::Network(const Mesh& mesh, const NetworkConfig& config,
     ni.credits.assign(config.vcs_per_port, config.buffer_depth);
   }
 
-  // Row-band partition: min(workers, rows) contiguous bands, the remainder
-  // rows spread over the leading bands. Any partition yields bit-identical
+  // Row-band partition: min(workers, global rows) contiguous bands, the
+  // remainder rows spread over the leading bands. Global rows count
+  // layers*rows — the layer-major layout makes a band of them a contiguous
+  // (layer, row) slab of a stacked mesh. Any partition yields bit-identical
   // results (header determinism argument); the band count only sets how
   // many workers can help.
-  const std::uint32_t rows = mesh.rows();
+  const std::uint32_t rows = mesh.rows() * mesh.layers();
   const auto num_domains = static_cast<std::uint32_t>(
       std::min<std::size_t>(resolve_sim_workers(sim_workers), rows));
-  // Horizon: all internal delays are <= max(link_latency, 1) + 1.
+  // Horizon: all internal delays are <= max(planar/TSV link latency, 1) + 1.
   const std::size_t ring_size = static_cast<std::size_t>(
-      std::max<std::uint32_t>(config.link_latency, 1) + 2);
+      std::max({config.link_latency, config.tsv_link_latency, 1u}) + 2);
   domains_.reserve(num_domains);
   row_domain_.reserve(rows);
   const std::uint32_t base = rows / num_domains;
@@ -86,16 +88,22 @@ TileId Network::neighbor(TileId tile, PortDir dir) const {
   switch (dir) {
     case PortDir::kNorth:
       NOCMAP_REQUIRE(c.row > 0, "no north neighbor");
-      return mesh_->tile_at(c.row - 1, c.col);
+      return mesh_->tile_at(c.layer, c.row - 1, c.col);
     case PortDir::kSouth:
       NOCMAP_REQUIRE(c.row + 1 < mesh_->rows(), "no south neighbor");
-      return mesh_->tile_at(c.row + 1, c.col);
+      return mesh_->tile_at(c.layer, c.row + 1, c.col);
     case PortDir::kEast:
       NOCMAP_REQUIRE(c.col + 1 < mesh_->cols(), "no east neighbor");
-      return mesh_->tile_at(c.row, c.col + 1);
+      return mesh_->tile_at(c.layer, c.row, c.col + 1);
     case PortDir::kWest:
       NOCMAP_REQUIRE(c.col > 0, "no west neighbor");
-      return mesh_->tile_at(c.row, c.col - 1);
+      return mesh_->tile_at(c.layer, c.row, c.col - 1);
+    case PortDir::kUp:
+      NOCMAP_REQUIRE(c.layer + 1 < mesh_->layers(), "no up neighbor");
+      return mesh_->tile_at(c.layer + 1, c.row, c.col);
+    case PortDir::kDown:
+      NOCMAP_REQUIRE(c.layer > 0, "no down neighbor");
+      return mesh_->tile_at(c.layer - 1, c.row, c.col);
     case PortDir::kLocal:
       break;
   }
@@ -241,7 +249,11 @@ void Network::tick_routers(Domain& d) {
           const TileId down = neighbor(t, dep.out_port);
           Flit forwarded = dep.flit;
           ++forwarded.hops;  // distance credit for the arbiter
-          const Cycle due = now_ + config_.link_latency;
+          const bool vertical = dep.out_port == PortDir::kUp ||
+                                dep.out_port == PortDir::kDown;
+          const Cycle due =
+              now_ + (vertical ? config_.tsv_link_latency
+                               : config_.link_latency);
           const PendingFlit pf{down, opposite(dep.out_port), dep.out_vc,
                                forwarded};
           if (down >= d.first && down < d.end) {

@@ -1,7 +1,11 @@
 // Whole-network cycle-level model: routers, links, network interfaces.
 //
 // The Network is spatially partitioned into contiguous row-band *domains*
-// (DESIGN.md §16). Each domain owns a RouterEngine covering its tiles
+// (DESIGN.md §16). On a stacked mesh the bands run over global rows
+// (layer, row) — the layer-major tile layout makes a band of global rows a
+// contiguous (layer, row) slab, so the 2D machinery carries over unchanged
+// and vertical hops are just another cross-domain (or intra-domain) link.
+// Each domain owns a RouterEngine covering its tiles
 // (structure-of-arrays router state; see router.h), the network interfaces
 // (NIs) of those tiles, its own future-event ring, and its own counters —
 // so within a cycle every domain's work (event delivery, NI injection,
@@ -63,7 +67,8 @@ struct Ejection {
 class Network {
  public:
   /// `sim_workers` requests the spatial partition width: the mesh is split
-  /// into min(sim_workers, rows) contiguous row-band domains stepped on a
+  /// into min(sim_workers, layers*rows) contiguous row-band domains
+  /// ((layer, row) slabs on a stacked mesh) stepped on a
   /// persistent worker team (0 resolves to the hardware concurrency).
   /// Results are bit-identical at every worker count; 1 (the default) is
   /// the serial engine with no threads spawned.

@@ -11,6 +11,8 @@ PortDir opposite(PortDir d) {
     case PortDir::kSouth: return PortDir::kNorth;
     case PortDir::kWest: return PortDir::kEast;
     case PortDir::kLocal: return PortDir::kLocal;
+    case PortDir::kUp: return PortDir::kDown;
+    case PortDir::kDown: return PortDir::kUp;
   }
   return PortDir::kLocal;
 }
@@ -96,18 +98,24 @@ PortDir RouterEngine::route(std::size_t router, TileId dst, bool yx) const {
   const TileCoord here = coord_[router];
   const TileCoord there = mesh_->coord_of(dst);
   if (yx) {
-    // Y (rows) first, then X (columns).
+    // Y (rows) first, then X (columns), then Z (layers).
     if (there.row > here.row) return PortDir::kSouth;
     if (there.row < here.row) return PortDir::kNorth;
     if (there.col > here.col) return PortDir::kEast;
     if (there.col < here.col) return PortDir::kWest;
+    if (there.layer > here.layer) return PortDir::kUp;
+    if (there.layer < here.layer) return PortDir::kDown;
     return PortDir::kLocal;
   }
-  // Dimension order: X (columns) first, then Y (rows).
+  // Dimension order: X (columns) first, then Y (rows), then Z (layers).
+  // Resolving Z last keeps both sub-routes deadlock-free (strict dimension
+  // order) and means planar traffic never touches the TSV ports.
   if (there.col > here.col) return PortDir::kEast;
   if (there.col < here.col) return PortDir::kWest;
   if (there.row > here.row) return PortDir::kSouth;
   if (there.row < here.row) return PortDir::kNorth;
+  if (there.layer > here.layer) return PortDir::kUp;
+  if (there.layer < here.layer) return PortDir::kDown;
   return PortDir::kLocal;
 }
 

@@ -39,15 +39,22 @@
 
 namespace nocmap {
 
-/// Mesh router ports. kLocal connects to the tile's network interface.
+/// Mesh router ports. kLocal connects to the tile's network interface;
+/// kUp/kDown are the TSV ports of a stacked mesh. They come *after* kLocal
+/// so the (port, vc) slot numbering of a planar router — and with it every
+/// round-robin arbitration decision — is unchanged from the 5-port layout:
+/// on a 2D mesh slots of ports 5–6 are never occupied, and the allocator
+/// skips empty slots, so the extra ports are exactly inert.
 enum class PortDir : std::uint8_t {
   kNorth = 0,
   kEast = 1,
   kSouth = 2,
   kWest = 3,
   kLocal = 4,
+  kUp = 5,
+  kDown = 6,
 };
-inline constexpr std::size_t kNumPorts = 5;
+inline constexpr std::size_t kNumPorts = 7;
 
 inline std::size_t port_index(PortDir d) { return static_cast<std::size_t>(d); }
 

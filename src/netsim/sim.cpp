@@ -69,7 +69,10 @@ RouterLoadSummary summarize_load(const Network& net, const Mesh& mesh,
 std::uint64_t num_directed_links(const Mesh& mesh) {
   const std::uint64_t r = mesh.rows();
   const std::uint64_t c = mesh.cols();
-  std::uint64_t undirected = r * (c - 1) + c * (r - 1);
+  const std::uint64_t l = mesh.layers();
+  std::uint64_t undirected = (r * (c - 1) + c * (r - 1)) * l;
+  // Vertical (TSV) links between adjacent layers, one per tile position.
+  undirected += (l - 1) * r * c;
   if (mesh.is_torus()) {
     // A wrap link is a *distinct* adjacent pair only when the wrapped
     // dimension has >= 3 tiles: at width 2 the wrap connects the same two
@@ -84,7 +87,11 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
                          const SimConfig& config) {
   const obs::ScopedTimer run_scope(t_run);
   Network net(problem.mesh(), config.network, config.sim_workers);
-  TrafficEngine traffic(problem, mapping, config.traffic);
+  // The problem's latency model owns the memory-traffic mode; the cycle
+  // engine always simulates what the analytic model assumed.
+  TrafficConfig traffic_config = config.traffic;
+  traffic_config.memory_mode = problem.model().mode();
+  TrafficEngine traffic(problem, mapping, traffic_config);
 
   const std::size_t num_apps = problem.num_applications();
   SimResult result;
@@ -112,7 +119,7 @@ SimResult run_simulation(const ObmProblem& problem, const Mapping& mapping,
 
   auto drain_ejections = [&](Cycle now) {
     for (const Ejection& e : net.take_ejections()) {
-      traffic.on_ejection(e, now);
+      traffic.on_ejection(net, e, now);
       record(e.info.app, e.info.cls, static_cast<double>(e.latency()),
              e.info.created);
     }

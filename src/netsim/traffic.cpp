@@ -1,6 +1,7 @@
 #include "netsim/traffic.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace nocmap {
@@ -42,6 +43,10 @@ TrafficEngine::TrafficEngine(const ObmProblem& problem, const Mapping& mapping,
       // Start in the stationary distribution to avoid an all-ON transient.
       src.burst_on = src.rng.bernoulli(config.burst_duty);
     }
+    // Stagger rotation starts by thread so interleaved requests don't all
+    // open on the same MC (real interleaving hashes addresses).
+    src.interleave_next = static_cast<std::uint32_t>(
+        j % problem.mesh().mc_tiles().size());
   }
 }
 
@@ -83,7 +88,23 @@ void TrafficEngine::draw_tile(TileId tile, std::vector<DrawEntry>& out) {
         dst = static_cast<TileId>(src.rng.uniform_u32(
             static_cast<std::uint32_t>(mesh.num_tiles())));
       } else {
-        dst = mesh.nearest_mc(tile);
+        switch (config_.memory_mode) {
+          case MemoryTrafficMode::kProximity:
+            dst = mesh.nearest_mc(tile);
+            break;
+          case MemoryTrafficMode::kInterleaved: {
+            const auto mcs = mesh.mc_tiles();
+            dst = mcs[src.interleave_next];
+            src.interleave_next = static_cast<std::uint32_t>(
+                (src.interleave_next + 1) % mcs.size());
+            break;
+          }
+          case MemoryTrafficMode::kMulticast:
+            // Sentinel: the commit phase expands the tree from the source
+            // tile itself (a DrawEntry carries a single destination).
+            dst = tile;
+            break;
+        }
       }
       out.push_back({tile, cls, dst});
     }
@@ -135,6 +156,14 @@ void TrafficEngine::generate(Network& net, Cycle now,
   for (std::size_t d = 0; d < nd; ++d) {
     for (const DrawEntry& e : draw_entries_[d]) {
       const TileSource& src = sources_[e.tile];
+      if (e.cls == PacketClass::kMemoryRequest &&
+          config_.memory_mode == MemoryTrafficMode::kMulticast) {
+        const auto mcs = problem_->mesh().mc_tiles();
+        emit_multicast(net, e.tile, {mcs.begin(), mcs.end()}, now, now,
+                       src.app, src.thread, &locals,
+                       /*record_local_delivery=*/true);
+        continue;
+      }
       if (e.dst == e.tile) {
         // Local access: no packets at all; record request and reply as
         // zero-latency samples to stay comparable with the analytic
@@ -160,6 +189,104 @@ void TrafficEngine::generate(Network& net, Cycle now,
   }
 }
 
+void TrafficEngine::emit_multicast(Network& net, TileId from,
+                                   std::vector<TileId> dests, Cycle created,
+                                   Cycle now, std::size_t app,
+                                   std::size_t thread,
+                                   std::vector<LocalAccess>* locals,
+                                   bool record_local_delivery) {
+  const Mesh& mesh = problem_->mesh();
+  const TileId requester = thread_tile_[thread];
+  const TileId responder = mesh.nearest_mc(requester);
+
+  // Delivery at this tile itself (the root is an MC, or a branch point
+  // landed exactly on one).
+  if (auto it = std::find(dests.begin(), dests.end(), from);
+      it != dests.end()) {
+    dests.erase(it);
+    if (record_local_delivery && locals != nullptr) {
+      locals->push_back({PacketClass::kMemoryRequest, app, thread});
+    }
+    if (from == responder) {
+      schedule(now + config_.memory_service_latency,
+               PacketClass::kMemoryReply, from, requester, app, thread);
+    }
+  }
+  if (dests.empty()) return;
+
+  // Group the remaining destinations by their first dimension-order hop
+  // from here; each group's branch point is the nearest point where the
+  // shared path prefix ends (the extreme coordinate along that dimension),
+  // so recursing from the branch point reproduces the XYZ multicast tree.
+  const TileCoord here = mesh.coord_of(from);
+  struct Group {
+    std::vector<TileId> dests;
+    TileCoord next;
+    bool any = false;
+  };
+  enum { kEastG, kWestG, kSouthG, kNorthG, kUpG, kDownG, kNumGroups };
+  std::array<Group, kNumGroups> groups;
+  for (TileId m : dests) {
+    const TileCoord c = mesh.coord_of(m);
+    std::size_t g;
+    if (c.col > here.col) g = kEastG;
+    else if (c.col < here.col) g = kWestG;
+    else if (c.row > here.row) g = kSouthG;
+    else if (c.row < here.row) g = kNorthG;
+    else if (c.layer > here.layer) g = kUpG;
+    else g = kDownG;
+    Group& grp = groups[g];
+    if (!grp.any) {
+      grp.any = true;
+      grp.next = c;
+    } else {
+      switch (g) {
+        case kEastG: grp.next.col = std::min(grp.next.col, c.col); break;
+        case kWestG: grp.next.col = std::max(grp.next.col, c.col); break;
+        case kSouthG: grp.next.row = std::min(grp.next.row, c.row); break;
+        case kNorthG: grp.next.row = std::max(grp.next.row, c.row); break;
+        case kUpG: grp.next.layer = std::min(grp.next.layer, c.layer); break;
+        case kDownG:
+          grp.next.layer = std::max(grp.next.layer, c.layer);
+          break;
+      }
+    }
+    grp.dests.push_back(m);
+  }
+  for (std::size_t g = 0; g < kNumGroups; ++g) {
+    Group& grp = groups[g];
+    if (!grp.any) continue;
+    // The branch point keeps this tile's coordinates in the dimensions the
+    // group has not diverged in yet.
+    TileCoord next = here;
+    if (g == kEastG || g == kWestG) {
+      next.col = grp.next.col;
+    } else if (g == kSouthG || g == kNorthG) {
+      next.row = grp.next.row;
+    } else {
+      next.layer = grp.next.layer;
+    }
+    const TileId endpoint = mesh.tile_at(next);
+    const bool delivers =
+        std::find(grp.dests.begin(), grp.dests.end(), endpoint) !=
+        grp.dests.end();
+
+    PacketInfo info;
+    info.id = next_id_++;
+    info.cls = delivers ? PacketClass::kMemoryRequest
+                        : PacketClass::kMemoryForward;
+    info.src = from;
+    info.dst = endpoint;
+    info.flits = net.config().short_packet_flits;
+    info.app = app;
+    info.thread = thread;
+    info.created = created;
+    multicast_.emplace(info.id,
+                       MulticastBranch{std::move(grp.dests), created});
+    net.inject_packet(info);
+  }
+}
+
 void TrafficEngine::schedule(Cycle due, PacketClass cls, TileId src,
                              TileId dst, std::size_t app,
                              std::size_t thread) {
@@ -174,9 +301,23 @@ void TrafficEngine::schedule(Cycle due, PacketClass cls, TileId src,
   pending_replies_.emplace(due, pkt);
 }
 
-void TrafficEngine::on_ejection(const Ejection& ejection, Cycle now) {
+void TrafficEngine::on_ejection(Network& net, const Ejection& ejection,
+                                Cycle now) {
   const PacketInfo& pkt = ejection.info;
   const TileId requester = thread_tile_[pkt.thread];
+
+  // Multicast tree segments (delivery or pure branch) continue the fan-out
+  // from their endpoint; the reply comes from the designated responder
+  // inside emit_multicast. Requests carry a branch record; a kMemoryRequest
+  // without one is a plain unicast request from the other modes.
+  if (auto it = multicast_.find(pkt.id); it != multicast_.end()) {
+    MulticastBranch branch = std::move(it->second);
+    multicast_.erase(it);
+    emit_multicast(net, pkt.dst, std::move(branch.dests), branch.created,
+                   now, pkt.app, pkt.thread, nullptr,
+                   /*record_local_delivery=*/false);
+    return;
+  }
 
   switch (pkt.cls) {
     case PacketClass::kCacheRequest: {
@@ -209,6 +350,8 @@ void TrafficEngine::on_ejection(const Ejection& ejection, Cycle now) {
     case PacketClass::kCacheReply:
     case PacketClass::kMemoryReply:
       break;  // transaction complete
+    case PacketClass::kMemoryForward:
+      break;  // always carries a branch record; handled above
   }
 }
 

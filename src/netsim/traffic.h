@@ -4,8 +4,14 @@
 // Each mapped thread injects, from its tile, two open-loop Bernoulli
 // streams derived from its workload rates: shared-L2 cache requests whose
 // destination bank is uniformly address-hashed over all tiles (Section
-// II.C), and memory requests to the nearest memory controller (proximity
-// principle). A request that hits its own tile never enters the network and
+// II.C), and memory requests whose MC destination follows the configured
+// MemoryTrafficMode — nearest MC (the paper's proximity principle),
+// per-thread round-robin over all MCs (DRAM address interleaving), or a
+// dimension-order multicast tree that replicates the request to every MC
+// at branch routers (the NI re-injects child segments where tree branches
+// diverge, so the router fabric itself stays unicast; the nearest MC is
+// the designated responder for the data reply).
+// A request that hits its own tile never enters the network and
 // is recorded as a zero-latency access, exactly as the analytic model's
 // H = 0 / no-serialization case. When a request ejects at its destination,
 // the serviced reply (5-flit data packet) is scheduled back after the L2 or
@@ -15,9 +21,11 @@
 #pragma once
 
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "core/problem.h"
+#include "latency/model.h"
 #include "netsim/network.h"
 #include "util/rng.h"
 
@@ -42,6 +50,8 @@ struct TrafficConfig {
   bool bursty = false;
   double burst_duty = 0.3;          ///< fraction of time in the ON state
   double burst_dwell_cycles = 200;  ///< mean ON+OFF period length
+  /// How memory requests pick their MC destination (latency/model.h).
+  MemoryTrafficMode memory_mode = MemoryTrafficMode::kProximity;
 };
 
 /// A zero-latency access that never entered the network (src == dst).
@@ -69,8 +79,9 @@ class TrafficEngine {
   void generate(Network& net, Cycle now, std::vector<LocalAccess>& locals);
 
   /// Feeds back an ejected request (or forward) so the next packet of its
-  /// transaction gets scheduled.
-  void on_ejection(const Ejection& ejection, Cycle now);
+  /// transaction gets scheduled. Multicast segments re-inject their child
+  /// segments into `net` directly (serial phase).
+  void on_ejection(Network& net, const Ejection& ejection, Cycle now);
 
   /// True when no replies remain to be issued (for drain phases).
   bool idle() const { return pending_replies_.empty(); }
@@ -89,6 +100,10 @@ class TrafficEngine {
     /// mapping — mappings are compared on paired traffic.
     Rng rng{0};
     bool burst_on = true;  ///< current Markov state (bursty mode only)
+    /// Next MC index in the round-robin rotation (interleaved mode only).
+    /// Seeded from the *thread* id so the rotation, like the RNG stream,
+    /// is paired across mappings.
+    std::uint32_t interleave_next = 0;
   };
 
   /// One emission decided during the draw phase: a request of class `cls`
@@ -109,6 +124,19 @@ class TrafficEngine {
   void schedule(Cycle due, PacketClass cls, TileId src, TileId dst,
                 std::size_t app, std::size_t thread);
 
+  /// Multicast memory mode: expands the dimension-order tree rooted at
+  /// `from` one level, injecting a unicast segment toward each branch point
+  /// (kMemoryRequest when the endpoint is an MC delivery, kMemoryForward
+  /// when it is a pure branch router). Segments carry the original request
+  /// creation cycle so each delivery's recorded latency is end-to-end.
+  /// `record_local_delivery` is true only for the root call (an ejection
+  /// already counts as the delivery sample otherwise). Serial-phase only.
+  void emit_multicast(Network& net, TileId from, std::vector<TileId> dests,
+                      Cycle created, Cycle now, std::size_t app,
+                      std::size_t thread,
+                      std::vector<LocalAccess>* locals,
+                      bool record_local_delivery);
+
   const ObmProblem* problem_;
   TrafficConfig config_;
   std::vector<TileSource> sources_;   // indexed by tile
@@ -118,6 +146,13 @@ class TrafficEngine {
   bool generating_ = true;
   // Follow-up packets due at a cycle.
   std::multimap<Cycle, PacketInfo> pending_replies_;
+  /// In-flight multicast tree segments: the sub-destinations the segment's
+  /// endpoint must fan out to (plus the original creation cycle).
+  struct MulticastBranch {
+    std::vector<TileId> dests;
+    Cycle created = 0;
+  };
+  std::unordered_map<PacketId, MulticastBranch> multicast_;
   // Per-domain draw buffers, reused across cycles (indexed by domain).
   std::vector<std::vector<DrawEntry>> draw_entries_;
 };

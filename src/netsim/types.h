@@ -26,11 +26,16 @@ inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 enum class PacketClass : std::uint8_t {
   kCacheRequest,   ///< core → hashed L2 bank, short (1 flit)
   kCacheReply,     ///< L2 bank (or owner L1) → core, long (5 flits)
-  kMemoryRequest,  ///< core → nearest MC, short (1 flit)
+  kMemoryRequest,  ///< core → MC (delivery segment), short (1 flit)
   kMemoryReply,    ///< MC → core, long (5 flits)
   kCacheForward,   ///< L2 bank → owner L1, short (1 flit)
+  /// Multicast-tree forwarding segment: a memory request travelling toward
+  /// a branch router where the NI replicates it (multicast memory mode
+  /// only). Segments whose endpoint is an MC use kMemoryRequest so the
+  /// per-class delivery statistics stay end-to-end.
+  kMemoryForward,
 };
-inline constexpr std::size_t kNumPacketClasses = 5;
+inline constexpr std::size_t kNumPacketClasses = 6;
 
 inline const char* packet_class_name(PacketClass c) {
   switch (c) {
@@ -39,6 +44,7 @@ inline const char* packet_class_name(PacketClass c) {
     case PacketClass::kMemoryRequest: return "memory_request";
     case PacketClass::kMemoryReply: return "memory_reply";
     case PacketClass::kCacheForward: return "cache_forward";
+    case PacketClass::kMemoryForward: return "memory_forward";
   }
   return "?";
 }
@@ -133,7 +139,8 @@ struct NetworkConfig {
   std::uint32_t vcs_per_port = 3;      ///< virtual channels per input port
   std::uint32_t buffer_depth = 5;      ///< flits per VC buffer
   std::uint32_t router_pipeline = 3;   ///< cycles a flit spends in a router
-  std::uint32_t link_latency = 1;      ///< cycles per inter-router link
+  std::uint32_t link_latency = 1;      ///< cycles per planar inter-router link
+  std::uint32_t tsv_link_latency = 1;  ///< cycles per vertical (TSV) link
   std::uint32_t short_packet_flits = 1;
   std::uint32_t long_packet_flits = 5;
   RoutingAlgo routing = RoutingAlgo::kXY;  ///< the paper uses XY

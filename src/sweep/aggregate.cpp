@@ -1,5 +1,6 @@
 #include "sweep/aggregate.h"
 
+#include <iterator>
 #include <limits>
 #include <string>
 #include <utility>
@@ -16,6 +17,15 @@ const obs::JsonValue& field(const obs::JsonValue& record, const char* key) {
   NOCMAP_REQUIRE(v != nullptr,
                  std::string("campaign record is missing '") + key + "'");
   return *v;
+}
+
+/// Key-as-string for fields that postdate older campaign logs: a missing
+/// key folds into its classic default so pre-extension logs aggregate
+/// unchanged.
+std::string field_or(const obs::JsonValue& record, const char* key,
+                     const char* fallback) {
+  const obs::JsonValue* v = record.find(key);
+  return v != nullptr ? v->dump(0) : std::string(fallback);
 }
 
 /// Insertion-ordered accumulator map: first-appearance order is record
@@ -109,11 +119,19 @@ obs::JsonValue aggregate_log(const CampaignLog& log) {
   OrderedAccumulators<CellAcc> g_apl_cells;
   OrderedAccumulators<CellAcc> power_cells;
   // Axis name → (value → marginal). Axis list is fixed so the document
-  // shape is stable even for degenerate specs.
-  const char* axis_names[] = {"mesh_side",        "topology",
-                              "mc_placement",     "config",
-                              "num_applications", "injection_scale"};
-  OrderedAccumulators<AxisAcc> axes[6];
+  // shape is stable even for degenerate specs. Axes with a non-null
+  // fallback postdate older logs and default instead of erroring.
+  struct AxisDef {
+    const char* name;
+    const char* fallback;
+  };
+  constexpr AxisDef axis_names[] = {
+      {"mesh_side", nullptr},          {"mesh_layers", "1"},
+      {"topology", nullptr},           {"mc_placement", nullptr},
+      {"traffic_mode", "\"proximity\""}, {"config", nullptr},
+      {"num_applications", nullptr},   {"injection_scale", nullptr}};
+  constexpr std::size_t kNumAxes = std::size(axis_names);
+  OrderedAccumulators<AxisAcc> axes[kNumAxes];
 
   std::uint64_t simulated = 0;
   std::uint64_t drain_incomplete = 0;
@@ -143,7 +161,11 @@ obs::JsonValue aggregate_log(const CampaignLog& log) {
         field(record, "num_applications").dump(0) + "|" +
         field(record, "threads_per_app").dump(0) + "|" +
         field(record, "injection_scale").dump(0) + "|" +
-        field(record, "bursty").dump(0);
+        field(record, "bursty").dump(0) + "|" +
+        field_or(record, "mesh_layers", "1") + "|" +
+        field_or(record, "tsv_hop_cost", "1") + "|" +
+        field_or(record, "mc_count", "0") + "|" +
+        field_or(record, "traffic_mode", "\"proximity\"");
     GroupAcc& group = groups.at(group_key);
     if (max_apl < group.best) {
       group.best = max_apl;
@@ -178,9 +200,14 @@ obs::JsonValue aggregate_log(const CampaignLog& log) {
       fold_cell(power_cells, dynamic_mw);
     }
 
-    for (std::size_t a = 0; a < 6; ++a) {
-      AxisAcc& acc =
-          axes[a].at(axis_value_string(field(record, axis_names[a])));
+    for (std::size_t a = 0; a < kNumAxes; ++a) {
+      const obs::JsonValue* v = record.find(axis_names[a].name);
+      NOCMAP_REQUIRE(v != nullptr || axis_names[a].fallback != nullptr,
+                     std::string("campaign record is missing '") +
+                         axis_names[a].name + "'");
+      AxisAcc& acc = axes[a].at(v != nullptr
+                                    ? axis_value_string(*v)
+                                    : std::string(axis_names[a].fallback));
       ++acc.scenarios;
       acc.sum_max_apl += max_apl;
       acc.sum_g_apl += g_apl;
@@ -234,7 +261,7 @@ obs::JsonValue aggregate_log(const CampaignLog& log) {
   doc["frontier"] = std::move(frontier);
 
   obs::JsonValue axes_section = obs::JsonValue::object();
-  for (std::size_t a = 0; a < 6; ++a) {
+  for (std::size_t a = 0; a < kNumAxes; ++a) {
     obs::JsonValue axis = obs::JsonValue::array();
     for (const auto& [value, acc] : axes[a].entries()) {
       obs::JsonValue row = obs::JsonValue::object();
@@ -245,7 +272,7 @@ obs::JsonValue aggregate_log(const CampaignLog& log) {
       row["mean_g_apl"] = acc.sum_g_apl / n;
       axis.push_back(std::move(row));
     }
-    axes_section[axis_names[a]] = std::move(axis);
+    axes_section[axis_names[a].name] = std::move(axis);
   }
   doc["axes"] = std::move(axes_section);
   return doc;

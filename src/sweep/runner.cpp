@@ -22,15 +22,6 @@ namespace nocmap::sweep {
 
 namespace {
 
-const char* placement_name(McPlacement p) {
-  switch (p) {
-    case McPlacement::kCorners: return "corners";
-    case McPlacement::kEdgeMiddles: return "edge_middles";
-    case McPlacement::kDiamond: return "diamond";
-  }
-  return "corners";
-}
-
 /// Fresh mapper for one scenario. Mappers run their canonical *serial*
 /// protocol: sweep parallelism shards scenarios across workers, so each
 /// scenario's result is the single-thread result by construction and the
@@ -90,8 +81,13 @@ obs::JsonValue scenario_record(const SweepScenario& scenario,
   rec["index"] = std::uint64_t{scenario.index};
   rec["seed"] = std::uint64_t{scenario.spec.seed};
   rec["mesh_side"] = std::uint64_t{scenario.spec.mesh_side};
+  rec["mesh_layers"] = std::uint64_t{scenario.spec.mesh_layers};
+  rec["tsv_hop_cost"] = scenario.spec.tsv_hop_cost;
   rec["topology"] = scenario.spec.torus ? "torus" : "mesh";
-  rec["mc_placement"] = placement_name(scenario.spec.mc_placement);
+  rec["mc_placement"] = mc_placement_name(scenario.spec.mc_placement);
+  rec["mc_count"] = std::uint64_t{scenario.spec.mc_count};
+  rec["traffic_mode"] =
+      memory_traffic_mode_name(scenario.spec.traffic_mode);
   rec["config"] = scenario.spec.config;
   rec["num_applications"] = std::uint64_t{scenario.spec.num_applications};
   rec["threads_per_app"] = std::uint64_t{scenario.spec.threads_per_app};
@@ -268,15 +264,16 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     }
 
     // Stage 2: cycle-accurate simulation for the eligible scenarios of the
-    // chunk, sharded through the existing batch API. Torus scenarios are
-    // analytic-only (the router engine models meshes).
+    // chunk, sharded through the existing batch API. Simulator-unsupported
+    // topologies (torus wraparound) stay analytic-only — classified here
+    // instead of tripping the simulator's NOCMAP_REQUIRE.
     std::vector<std::size_t> sim_slot(static_cast<std::size_t>(chunk),
                                       ParallelTrialRunner::npos);
     std::vector<BatchScenario> batch;
     if (spec.netsim.enabled) {
       for (std::size_t i = 0; i < chunk; ++i) {
         const SweepScenario& scenario = expansion.scenarios[next + i];
-        if (scenario.spec.torus) continue;
+        if (!check::simulator_supported(scenario.spec)) continue;
         sim_slot[i] = batch.size();
         SimConfig sim_config = sim_config_for(spec, scenario.spec);
         // Within-simulation partitioning: an execution knob, invisible in

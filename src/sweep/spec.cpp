@@ -16,23 +16,6 @@ namespace {
 /// runaway spec (seed count 10^9, say) must fail fast instead of OOMing.
 constexpr std::uint64_t kMaxCombinations = 10'000'000;
 
-const char* placement_name(McPlacement p) {
-  switch (p) {
-    case McPlacement::kCorners: return "corners";
-    case McPlacement::kEdgeMiddles: return "edge_middles";
-    case McPlacement::kDiamond: return "diamond";
-  }
-  return "corners";
-}
-
-McPlacement placement_from_name(const std::string& name) {
-  if (name == "corners") return McPlacement::kCorners;
-  if (name == "edge_middles") return McPlacement::kEdgeMiddles;
-  if (name == "diamond") return McPlacement::kDiamond;
-  NOCMAP_REQUIRE(false, "unknown mc_placement '" + name + "'");
-  return McPlacement::kCorners;
-}
-
 const obs::JsonValue& require_array(const obs::JsonValue& v,
                                     const std::string& what) {
   NOCMAP_REQUIRE(v.is_array(), "spec axis '" + what + "' must be an array");
@@ -79,6 +62,24 @@ void parse_axes(const obs::JsonValue& axes, CampaignSpec& spec) {
   for (const auto& [key, value] : axes.members()) {
     if (key == "mesh_side") {
       spec.mesh_side = read_u32_axis(value, key, 2, 64);
+    } else if (key == "mesh_layers") {
+      spec.mesh_layers = read_u32_axis(value, key, 1, 8);
+    } else if (key == "tsv_hop_cost") {
+      spec.tsv_hop_cost = read_double_axis(value, key, 0.0, 16.0);
+    } else if (key == "mc_count") {
+      const std::uint64_t count = value.as_uint();
+      NOCMAP_REQUIRE(count >= 1 && count <= 64 * 64,
+                     "mc_count out of range");
+      spec.mc_count = static_cast<std::uint32_t>(count);
+    } else if (key == "traffic_mode") {
+      spec.traffic_mode.clear();
+      for (const obs::JsonValue& item : require_array(value, key).items()) {
+        MemoryTrafficMode mode;
+        NOCMAP_REQUIRE(
+            memory_traffic_mode_from_name(item.as_string(), mode),
+            "unknown traffic_mode '" + item.as_string() + "'");
+        spec.traffic_mode.push_back(mode);
+      }
     } else if (key == "topology") {
       spec.torus.clear();
       for (const obs::JsonValue& item : require_array(value, key).items()) {
@@ -94,7 +95,11 @@ void parse_axes(const obs::JsonValue& axes, CampaignSpec& spec) {
     } else if (key == "mc_placement") {
       spec.mc_placement.clear();
       for (const obs::JsonValue& item : require_array(value, key).items()) {
-        spec.mc_placement.push_back(placement_from_name(item.as_string()));
+        McPlacement placement;
+        NOCMAP_REQUIRE(
+            mc_placement_from_name(item.as_string(), placement),
+            "unknown mc_placement '" + item.as_string() + "'");
+        spec.mc_placement.push_back(placement);
       }
     } else if (key == "config") {
       spec.config.clear();
@@ -250,6 +255,14 @@ obs::JsonValue spec_to_json(const CampaignSpec& spec) {
     mesh.push_back(std::uint64_t{side});
   }
   axes["mesh_side"] = std::move(mesh);
+  obs::JsonValue layers = obs::JsonValue::array();
+  for (const std::uint32_t l : spec.mesh_layers) {
+    layers.push_back(std::uint64_t{l});
+  }
+  axes["mesh_layers"] = std::move(layers);
+  obs::JsonValue tsv = obs::JsonValue::array();
+  for (const double t : spec.tsv_hop_cost) tsv.push_back(t);
+  axes["tsv_hop_cost"] = std::move(tsv);
   obs::JsonValue topology = obs::JsonValue::array();
   for (const bool torus : spec.torus) {
     topology.push_back(torus ? "torus" : "mesh");
@@ -257,9 +270,15 @@ obs::JsonValue spec_to_json(const CampaignSpec& spec) {
   axes["topology"] = std::move(topology);
   obs::JsonValue placements = obs::JsonValue::array();
   for (const McPlacement p : spec.mc_placement) {
-    placements.push_back(placement_name(p));
+    placements.push_back(mc_placement_name(p));
   }
   axes["mc_placement"] = std::move(placements);
+  axes["mc_count"] = std::uint64_t{spec.mc_count};
+  obs::JsonValue modes = obs::JsonValue::array();
+  for (const MemoryTrafficMode m : spec.traffic_mode) {
+    modes.push_back(memory_traffic_mode_name(m));
+  }
+  axes["traffic_mode"] = std::move(modes);
   obs::JsonValue configs = obs::JsonValue::array();
   for (const std::string& c : spec.config) configs.push_back(c);
   axes["config"] = std::move(configs);
@@ -326,8 +345,10 @@ std::string spec_digest(const CampaignSpec& spec) {
 Expansion expand_spec(const CampaignSpec& spec) {
   NOCMAP_REQUIRE(!spec.mappers.empty(), "spec has no mappers");
   const std::uint64_t sizes[] = {
-      spec.mesh_side.size(),      spec.torus.size(),
-      spec.mc_placement.size(),   spec.config.size(),
+      spec.mesh_side.size(),      spec.mesh_layers.size(),
+      spec.tsv_hop_cost.size(),   spec.torus.size(),
+      spec.mc_placement.size(),   spec.traffic_mode.size(),
+      spec.config.size(),
       spec.num_applications.size(), spec.threads_per_app.size(),
       spec.injection_scale.size(), spec.bursty.size(),
       spec.seed.count,            spec.mappers.size()};
@@ -346,8 +367,11 @@ Expansion expand_spec(const CampaignSpec& spec) {
 
   std::uint64_t index = 0;
   for (const std::uint32_t mesh_side : spec.mesh_side) {
-    for (const bool torus : spec.torus) {
+   for (const std::uint32_t mesh_layers : spec.mesh_layers) {
+    for (const double tsv : spec.tsv_hop_cost) {
+     for (const bool torus : spec.torus) {
       for (const McPlacement placement : spec.mc_placement) {
+       for (const MemoryTrafficMode mode : spec.traffic_mode) {
         for (const std::string& config : spec.config) {
           for (const std::uint32_t apps : spec.num_applications) {
             for (const std::uint32_t tpa_raw : spec.threads_per_app) {
@@ -356,13 +380,20 @@ Expansion expand_spec(const CampaignSpec& spec) {
                   for (std::uint32_t s = 0; s < spec.seed.count; ++s) {
                     for (const std::string& mapper : spec.mappers) {
                       const std::uint64_t my_index = index++;
-                      const std::uint32_t tiles = mesh_side * mesh_side;
+                      const std::uint32_t tiles =
+                          mesh_side * mesh_side * mesh_layers;
                       const std::uint32_t tpa =
                           tpa_raw == 0 ? tiles / apps : tpa_raw;
+                      const bool random_mc =
+                          placement == McPlacement::kRandom;
+                      // Torus wraparound is 2D-only and pins corner MCs;
+                      // a random MC set must fit the chip.
                       const bool valid =
                           apps <= tiles && tpa >= 1 &&
                           static_cast<std::uint64_t>(apps) * tpa <= tiles &&
-                          (!torus || placement == McPlacement::kCorners);
+                          (!torus || placement == McPlacement::kCorners) &&
+                          (!torus || mesh_layers == 1) &&
+                          (!random_mc || spec.mc_count <= tiles);
                       if (!valid) {
                         NOCMAP_REQUIRE(
                             spec.skip_invalid,
@@ -377,8 +408,13 @@ Expansion expand_spec(const CampaignSpec& spec) {
                       scenario.index = my_index;
                       scenario.spec.seed = spec.seed.base + s;
                       scenario.spec.mesh_side = mesh_side;
+                      scenario.spec.mesh_layers = mesh_layers;
+                      scenario.spec.tsv_hop_cost = tsv;
                       scenario.spec.mc_placement = placement;
+                      scenario.spec.mc_count =
+                          random_mc ? spec.mc_count : 0;
                       scenario.spec.torus = torus;
+                      scenario.spec.traffic_mode = mode;
                       scenario.spec.config = config;
                       scenario.spec.num_applications = apps;
                       scenario.spec.threads_per_app = tpa;
@@ -394,8 +430,11 @@ Expansion expand_spec(const CampaignSpec& spec) {
             }
           }
         }
+       }
       }
+     }
     }
+   }
   }
   return out;
 }

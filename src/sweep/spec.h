@@ -41,8 +41,9 @@ struct SweepMapperOptions {
 
 /// Cycle-accurate stage settings. Disabled by default: analytic metrics are
 /// cheap and every scenario gets them; simulation multiplies campaign cost
-/// by orders of magnitude and is opt-in per spec. Torus scenarios always
-/// skip simulation (the cycle-level engine models meshes only).
+/// by orders of magnitude and is opt-in per spec. Scenarios the simulator
+/// does not support (check::simulator_supported — torus wraparound) always
+/// skip the netsim stage.
 struct SweepNetsimOptions {
   bool enabled = false;
   std::uint64_t warmup_cycles = 1000;
@@ -67,8 +68,19 @@ struct SeedAxis {
 struct CampaignSpec {
   std::string name;
   std::vector<std::uint32_t> mesh_side = {8};
+  /// Stacked dies per chip; 1 is the classic planar mesh.
+  std::vector<std::uint32_t> mesh_layers = {1};
+  /// Vertical-hop cost in planar-hop units (only meaningful with layers>1).
+  std::vector<double> tsv_hop_cost = {1.0};
   std::vector<bool> torus = {false};  ///< "topology" axis: mesh / torus
   std::vector<McPlacement> mc_placement = {McPlacement::kCorners};
+  /// MC-set size used by grid points whose placement is "random" (a scalar,
+  /// not an axis; the per-scenario MC set is then drawn from the scenario
+  /// seed). Points where it exceeds the tile count are invalid combos.
+  std::uint32_t mc_count = 4;
+  /// Memory-traffic mode axis (proximity / interleaved / multicast).
+  std::vector<MemoryTrafficMode> traffic_mode = {
+      MemoryTrafficMode::kProximity};
   std::vector<std::string> config = {"C1"};
   std::vector<std::uint32_t> num_applications = {4};
   /// 0 means "fill": tiles / num_applications threads per application.
@@ -79,8 +91,9 @@ struct CampaignSpec {
   std::vector<std::string> mappers = {"SSS"};
   SweepMapperOptions mapper_options;
   SweepNetsimOptions netsim;
-  /// Skip structurally invalid grid points (torus with non-corner MCs,
-  /// more threads than tiles) instead of failing the whole expansion.
+  /// Skip structurally invalid grid points (torus with non-corner MCs or
+  /// with stacked layers, more threads than tiles, a random MC set larger
+  /// than the chip) instead of failing the whole expansion.
   bool skip_invalid = true;
 };
 

@@ -13,6 +13,25 @@ std::uint32_t abs_diff(std::uint32_t a, std::uint32_t b) {
 
 }  // namespace
 
+const char* mc_placement_name(McPlacement placement) {
+  switch (placement) {
+    case McPlacement::kCorners: return "corners";
+    case McPlacement::kEdgeMiddles: return "edge_middles";
+    case McPlacement::kDiamond: return "diamond";
+    case McPlacement::kRandom: return "random";
+  }
+  return "corners";
+}
+
+bool mc_placement_from_name(const std::string& name, McPlacement& out) {
+  if (name == "corners") out = McPlacement::kCorners;
+  else if (name == "edge_middles") out = McPlacement::kEdgeMiddles;
+  else if (name == "diamond") out = McPlacement::kDiamond;
+  else if (name == "random") out = McPlacement::kRandom;
+  else return false;
+  return true;
+}
+
 Mesh Mesh::square(std::uint32_t n) {
   return square_with_placement(n, McPlacement::kCorners);
 }
@@ -46,50 +65,90 @@ Mesh Mesh::square_with_placement(std::uint32_t n, McPlacement placement) {
       mcs.erase(std::unique(mcs.begin(), mcs.end()), mcs.end());
       break;
     }
+    case McPlacement::kRandom:
+      NOCMAP_REQUIRE(false,
+                     "kRandom needs a seed-drawn MC set; build the Mesh from "
+                     "explicit mc_tiles instead");
   }
   return Mesh(n, n, std::move(mcs));
+}
+
+Mesh Mesh::stacked_with_placement(std::uint32_t layers, std::uint32_t n,
+                                  McPlacement placement, double tsv_hop_cost) {
+  Mesh base = square_with_placement(n, placement);
+  return Mesh(layers, n, n,
+              {base.mc_tiles().begin(), base.mc_tiles().end()},
+              tsv_hop_cost);
 }
 
 Mesh::Mesh(std::uint32_t rows, std::uint32_t cols, std::vector<TileId> mc_tiles,
            Wraparound wraparound)
     : rows_(rows), cols_(cols), wraparound_(wraparound),
       mc_tiles_(std::move(mc_tiles)) {
-  NOCMAP_REQUIRE(rows_ >= 1 && cols_ >= 1, "mesh must be non-empty");
+  init();
+}
+
+Mesh::Mesh(std::uint32_t layers, std::uint32_t rows, std::uint32_t cols,
+           std::vector<TileId> mc_tiles, double tsv_hop_cost)
+    : layers_(layers), rows_(rows), cols_(cols), tsv_hop_cost_(tsv_hop_cost),
+      mc_tiles_(std::move(mc_tiles)) {
+  init();
+}
+
+void Mesh::init() {
+  NOCMAP_REQUIRE(layers_ >= 1 && rows_ >= 1 && cols_ >= 1,
+                 "mesh must be non-empty");
+  NOCMAP_REQUIRE(!(is_torus() && is_3d()), "torus wraparound is 2D-only");
+  NOCMAP_REQUIRE(tsv_hop_cost_ > 0.0, "TSV hop cost must be positive");
   NOCMAP_REQUIRE(!mc_tiles_.empty(), "mesh needs at least one MC tile");
   const std::size_t n = num_tiles();
   is_mc_.assign(n, 0);
   for (TileId t : mc_tiles_) {
     NOCMAP_REQUIRE(t < n, "MC tile id out of range");
+    NOCMAP_REQUIRE(!is_mc_[t], "duplicate MC tile id");
     is_mc_[t] = 1;
   }
 
   nearest_mc_.assign(n, 0);
   mc_distance_.assign(n, 0);
+  mc_weighted_.assign(n, 0.0);
   for (TileId t = 0; t < n; ++t) {
-    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    double best = std::numeric_limits<double>::max();
     TileId best_mc = mc_tiles_.front();
     for (TileId mc : mc_tiles_) {
-      const std::uint32_t d = hops(t, mc);
+      const double d = weighted_hops(t, mc);
       if (d < best || (d == best && mc < best_mc)) {
         best = d;
         best_mc = mc;
       }
     }
     nearest_mc_[t] = best_mc;
-    mc_distance_[t] = best;
+    mc_distance_[t] = hops(t, best_mc);
+    mc_weighted_[t] = best;
   }
 }
 
 TileCoord Mesh::coord_of(TileId t) const {
   NOCMAP_REQUIRE(t < num_tiles(), "tile id out of range");
-  return {t / cols_, t % cols_};
+  const auto per_layer = static_cast<std::uint32_t>(tiles_per_layer());
+  const std::uint32_t rem = t % per_layer;
+  return {rem / cols_, rem % cols_, t / per_layer};
 }
 
-TileId Mesh::tile_at(TileCoord c) const { return tile_at(c.row, c.col); }
+TileId Mesh::tile_at(TileCoord c) const {
+  return tile_at(c.layer, c.row, c.col);
+}
 
 TileId Mesh::tile_at(std::uint32_t row, std::uint32_t col) const {
-  NOCMAP_REQUIRE(row < rows_ && col < cols_, "tile coordinate out of range");
-  return row * cols_ + col;
+  return tile_at(0, row, col);
+}
+
+TileId Mesh::tile_at(std::uint32_t layer, std::uint32_t row,
+                     std::uint32_t col) const {
+  NOCMAP_REQUIRE(layer < layers_ && row < rows_ && col < cols_,
+                 "tile coordinate out of range");
+  return layer * static_cast<std::uint32_t>(tiles_per_layer()) +
+         row * cols_ + col;
 }
 
 TileId Mesh::from_paper_number(std::uint32_t k) const {
@@ -106,12 +165,26 @@ std::uint32_t Mesh::hops(TileId a, TileId b) const {
     dr = std::min(dr, rows_ - dr);
     dc = std::min(dc, cols_ - dc);
   }
-  return dr + dc;
+  return dr + dc + abs_diff(ca.layer, cb.layer);
+}
+
+double Mesh::weighted_hops(TileId a, TileId b) const {
+  const TileCoord ca = coord_of(a);
+  const TileCoord cb = coord_of(b);
+  std::uint32_t dr = abs_diff(ca.row, cb.row);
+  std::uint32_t dc = abs_diff(ca.col, cb.col);
+  if (wraparound_ == Wraparound::kTorus) {
+    dr = std::min(dr, rows_ - dr);
+    dc = std::min(dc, cols_ - dc);
+  }
+  return static_cast<double>(dr + dc) +
+         tsv_hop_cost_ * abs_diff(ca.layer, cb.layer);
 }
 
 double Mesh::avg_hops_to_all(TileId t) const {
   const TileCoord c = coord_of(t);
-  // Row and column contributions are separable under dimension order.
+  // Row, column, and layer contributions are separable under dimension
+  // order.
   auto dim_dist = [this](std::uint32_t a, std::uint32_t b,
                          std::uint32_t extent) {
     std::uint32_t d = abs_diff(a, b);
@@ -126,14 +199,42 @@ double Mesh::avg_hops_to_all(TileId t) const {
   for (std::uint32_t cc = 0; cc < cols_; ++cc) {
     col_sum += dim_dist(c.col, cc, cols_);
   }
-  const double total = static_cast<double>(row_sum) * cols_ +
-                       static_cast<double>(col_sum) * rows_;
+  std::uint64_t layer_sum = 0;
+  for (std::uint32_t l = 0; l < layers_; ++l) {
+    layer_sum += abs_diff(c.layer, l);
+  }
+  const double total =
+      static_cast<double>(row_sum) * cols_ * layers_ +
+      static_cast<double>(col_sum) * rows_ * layers_ +
+      static_cast<double>(layer_sum) * tiles_per_layer();
   return total / static_cast<double>(num_tiles());
+}
+
+double Mesh::avg_weighted_hops_to_all(TileId t) const {
+  if (layers_ == 1) return avg_hops_to_all(t);
+  const TileCoord c = coord_of(t);
+  std::uint64_t layer_sum = 0;
+  for (std::uint32_t l = 0; l < layers_; ++l) {
+    layer_sum += abs_diff(c.layer, l);
+  }
+  // Reuse the unweighted separable sums, then swap the layer term's unit
+  // cost for the TSV cost.
+  const double unweighted_total =
+      avg_hops_to_all(t) * static_cast<double>(num_tiles());
+  const double layer_total =
+      static_cast<double>(layer_sum) * tiles_per_layer();
+  return (unweighted_total + (tsv_hop_cost_ - 1.0) * layer_total) /
+         static_cast<double>(num_tiles());
 }
 
 std::uint32_t Mesh::hops_to_nearest_mc(TileId t) const {
   NOCMAP_REQUIRE(t < num_tiles(), "tile id out of range");
   return mc_distance_[t];
+}
+
+double Mesh::weighted_hops_to_nearest_mc(TileId t) const {
+  NOCMAP_REQUIRE(t < num_tiles(), "tile id out of range");
+  return mc_weighted_[t];
 }
 
 TileId Mesh::nearest_mc(TileId t) const {

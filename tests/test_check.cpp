@@ -4,6 +4,7 @@
 // mutation-canary loop proving a seeded bug is caught and minimized.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <set>
 #include <string>
@@ -89,6 +90,154 @@ TEST(Repro, SaveLoadFileRoundTrip) {
   EXPECT_EQ(load_repro(path, &oracle), spec);
   EXPECT_EQ(oracle, "exact_bound");
   EXPECT_THROW(load_repro((dir / "missing.scenario").string()), Error);
+}
+
+TEST(ScenarioGenerator, CoversGeneralizedAxes) {
+  // The generator must actually exercise the extended scenario space:
+  // stacked meshes, non-unit TSV costs, seed-drawn MC sets, and all three
+  // memory-traffic modes.
+  bool stacked = false, cheap_tsv = false, random_mcs = false;
+  bool interleaved = false, multicast = false;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    if (spec.mesh_layers > 1) stacked = true;
+    if (spec.tsv_hop_cost != 1.0) cheap_tsv = true;
+    if (spec.mc_placement == McPlacement::kRandom) {
+      random_mcs = true;
+      EXPECT_GE(spec.mc_count, 1u);
+    }
+    if (spec.traffic_mode == MemoryTrafficMode::kInterleaved) {
+      interleaved = true;
+    }
+    if (spec.traffic_mode == MemoryTrafficMode::kMulticast) multicast = true;
+  }
+  EXPECT_TRUE(stacked);
+  EXPECT_TRUE(cheap_tsv);
+  EXPECT_TRUE(random_mcs);
+  EXPECT_TRUE(interleaved);
+  EXPECT_TRUE(multicast);
+}
+
+TEST(Scenario, ValidateRejectsBadGeneralizedCombos) {
+  ScenarioSpec base = generate_scenario(1);
+  base.mesh_layers = 1;
+  base.torus = false;
+  base.mc_placement = McPlacement::kCorners;
+  base.mc_count = 0;
+  ASSERT_NO_THROW(validate_scenario(base));
+
+  ScenarioSpec torus_stack = base;
+  torus_stack.torus = true;
+  torus_stack.mesh_layers = 2;
+  EXPECT_THROW(validate_scenario(torus_stack), Error);
+
+  ScenarioSpec too_tall = base;
+  too_tall.mesh_layers = 9;
+  EXPECT_THROW(validate_scenario(too_tall), Error);
+
+  ScenarioSpec stray_count = base;
+  stray_count.mc_count = 3;  // mc_count without random placement
+  EXPECT_THROW(validate_scenario(stray_count), Error);
+
+  ScenarioSpec missing_count = base;
+  missing_count.mc_placement = McPlacement::kRandom;  // random without count
+  EXPECT_THROW(validate_scenario(missing_count), Error);
+
+  ScenarioSpec bad_tsv = base;
+  bad_tsv.tsv_hop_cost = 0.0;
+  EXPECT_THROW(validate_scenario(bad_tsv), Error);
+}
+
+TEST(Scenario, SimulatorSupportClassifiesTorus) {
+  // Satellite fix: torus scenarios must be classified as
+  // simulator-unsupported up front — previously they reached the Network
+  // ctor and died on its NOCMAP_REQUIRE.
+  ScenarioSpec spec = generate_scenario(2);
+  spec.torus = false;
+  spec.mesh_layers = 1;
+  EXPECT_TRUE(simulator_supported(spec));
+  spec.mesh_layers = 4;
+  spec.tsv_hop_cost = 0.5;
+  EXPECT_TRUE(simulator_supported(spec));  // stacks simulate fine
+  spec.mesh_layers = 1;
+  spec.torus = true;
+  spec.mc_placement = McPlacement::kCorners;
+  spec.mc_count = 0;
+  EXPECT_FALSE(simulator_supported(spec));
+  // The netsim oracles must agree — none may claim a torus scenario.
+  validate_scenario(spec);
+  for (const char* name : {"netsim_conservation", "netsim_rank"}) {
+    const Oracle* oracle = find_oracle(name);
+    ASSERT_NE(oracle, nullptr);
+    EXPECT_FALSE(oracle->applicable(spec)) << name;
+  }
+}
+
+TEST(Scenario, RandomMcSetIsSeedStablePrefix) {
+  ScenarioSpec spec = generate_scenario(4);
+  spec.torus = false;
+  spec.mesh_side = 6;
+  spec.mesh_layers = 1;
+  spec.tsv_hop_cost = 1.0;
+  spec.mc_placement = McPlacement::kRandom;
+  spec.mc_count = 6;
+  validate_scenario(spec);
+
+  const Mesh big = build_mesh(spec);
+  ASSERT_EQ(big.mc_tiles().size(), 6u);
+  std::set<TileId> big_set(big.mc_tiles().begin(), big.mc_tiles().end());
+  EXPECT_EQ(big_set.size(), 6u);  // distinct draws
+
+  // Shrinking the count keeps a subset of the larger set (the shrinker
+  // relies on this: a smaller mc_count is the same set minus tail draws).
+  spec.mc_count = 3;
+  const Mesh small = build_mesh(spec);
+  ASSERT_EQ(small.mc_tiles().size(), 3u);
+  for (TileId mc : small.mc_tiles()) {
+    EXPECT_TRUE(big_set.count(mc)) << "MC " << mc << " not in the 6-set";
+  }
+
+  // Same spec, same set — the draw depends only on the scenario seed.
+  const Mesh again = build_mesh(spec);
+  EXPECT_TRUE(std::equal(small.mc_tiles().begin(), small.mc_tiles().end(),
+                         again.mc_tiles().begin(), again.mc_tiles().end()));
+}
+
+TEST(Repro, ClassicFormatWithoutNewKeysParses) {
+  // A pre-extension repro (the v1 corpus format) carries only the classic
+  // nine keys; the new ones must default to the 2D/proximity scenario.
+  const std::string classic =
+      "# nocmap_fuzz repro v1\n"
+      "seed=42\n"
+      "mesh_side=5\n"
+      "mc_placement=corners\n"
+      "torus=0\n"
+      "config=C3\n"
+      "num_applications=2\n"
+      "threads_per_app=4\n"
+      "injection_scale=0.75\n"
+      "bursty=1\n";
+  const ScenarioSpec spec = from_repro(classic);
+  EXPECT_EQ(spec.mesh_layers, 1u);
+  EXPECT_DOUBLE_EQ(spec.tsv_hop_cost, 1.0);
+  EXPECT_EQ(spec.mc_count, 0u);
+  EXPECT_EQ(spec.traffic_mode, MemoryTrafficMode::kProximity);
+  EXPECT_EQ(spec.mesh_side, 5u);
+  EXPECT_TRUE(spec.bursty);
+}
+
+TEST(Repro, GeneralizedScenarioRoundTrips) {
+  ScenarioSpec spec = generate_scenario(6);
+  spec.torus = false;
+  spec.mesh_side = 4;
+  spec.mesh_layers = 3;
+  spec.tsv_hop_cost = 0.5;
+  spec.mc_placement = McPlacement::kRandom;
+  spec.mc_count = 5;
+  spec.traffic_mode = MemoryTrafficMode::kMulticast;
+  spec.threads_per_app = std::min(spec.threads_per_app, 8u);
+  validate_scenario(spec);
+  EXPECT_EQ(from_repro(to_repro(spec)), spec);
 }
 
 TEST(Oracles, RegistryLookup) {

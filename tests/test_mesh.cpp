@@ -206,5 +206,156 @@ TEST(Mesh, OutOfRangeAccessors) {
   EXPECT_THROW(m.is_mc(4), Error);
 }
 
+// Regression: the ctor used to accept duplicate MC tile ids silently, which
+// double-counted that controller in every mc_tiles() loop (interleaved TM,
+// multicast trees, conservation accounting).
+TEST(Mesh, DuplicateMcRejected) {
+  EXPECT_THROW(Mesh(2, 2, {0, 0}), Error);
+  EXPECT_THROW(Mesh(3, 3, {2, 5, 2}), Error);
+  EXPECT_THROW(Mesh(2, 2, 2, {1, 1}), Error);
+}
+
+// Nearest-MC ties break toward the lowest MC tile id — on non-square
+// meshes and arbitrary MC sets, not just the corner layout.
+TEST(Mesh, NearestMcTieBreaksToLowestId) {
+  // 4x4, MCs in row 0 at columns 0 and 2: column 1 is equidistant.
+  const Mesh m(4, 4, {0, 2});
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(m.nearest_mc(m.tile_at(r, 1)), 0u) << "row " << r;
+  }
+  // 3x5 rectangular, MCs at (0,4)=4 and (2,0)=10: tile (1,2)=7 is 3 hops
+  // from both.
+  const Mesh rect(3, 5, {4, 10});
+  EXPECT_EQ(rect.hops(7, 4), rect.hops(7, 10));
+  EXPECT_EQ(rect.nearest_mc(7), 4u);
+}
+
+TEST(Mesh, NearestMcBruteForceOnGenericSet) {
+  const Mesh m(5, 7, {3, 11, 20, 33});
+  for (TileId t = 0; t < m.num_tiles(); ++t) {
+    TileId best = m.mc_tiles()[0];
+    for (TileId mc : m.mc_tiles()) {
+      if (m.weighted_hops(t, mc) < m.weighted_hops(t, best) ||
+          (m.weighted_hops(t, mc) == m.weighted_hops(t, best) && mc < best)) {
+        best = mc;
+      }
+    }
+    EXPECT_EQ(m.nearest_mc(t), best) << "tile " << t;
+    EXPECT_EQ(m.hops_to_nearest_mc(t), m.hops(t, best)) << "tile " << t;
+  }
+}
+
+TEST(Mesh3D, CoordinateRoundTrip) {
+  const Mesh m(3, 4, 5, {0});
+  EXPECT_TRUE(m.is_3d());
+  EXPECT_EQ(m.num_tiles(), 60u);
+  for (TileId t = 0; t < m.num_tiles(); ++t) {
+    const TileCoord c = m.coord_of(t);
+    EXPECT_EQ(m.tile_at(c), t);
+    EXPECT_EQ(m.tile_at(c.layer, c.row, c.col), t);
+    EXPECT_EQ(t, c.layer * 20u + c.row * 5u + c.col);  // layer-major layout
+  }
+}
+
+TEST(Mesh3D, HopsIsManhattanAcrossLayers) {
+  const Mesh m(3, 4, 4, {0});
+  EXPECT_EQ(m.hops(m.tile_at(0u, 0u, 0u), m.tile_at(2u, 3u, 1u)), 6u);
+  for (TileId a = 0; a < m.num_tiles(); ++a) {
+    for (TileId b = 0; b < m.num_tiles(); ++b) {
+      const TileCoord ca = m.coord_of(a), cb = m.coord_of(b);
+      const std::uint32_t manhattan =
+          (ca.row > cb.row ? ca.row - cb.row : cb.row - ca.row) +
+          (ca.col > cb.col ? ca.col - cb.col : cb.col - ca.col) +
+          (ca.layer > cb.layer ? ca.layer - cb.layer : cb.layer - ca.layer);
+      EXPECT_EQ(m.hops(a, b), manhattan);
+      EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+    }
+  }
+}
+
+TEST(Mesh3D, Layer0MatchesPlanarIds) {
+  // Layer 0 of a stack uses the same ids and distances as the 2D mesh.
+  const Mesh flat = Mesh::square(4);
+  const Mesh stack(2, 4, 4, {0, 3, 12, 15});
+  for (TileId a = 0; a < flat.num_tiles(); ++a) {
+    EXPECT_EQ(stack.coord_of(a).layer, 0u);
+    for (TileId b = 0; b < flat.num_tiles(); ++b) {
+      EXPECT_EQ(stack.hops(a, b), flat.hops(a, b));
+    }
+  }
+}
+
+TEST(Mesh3D, WeightedHopsUsesTsvCost) {
+  const Mesh m(2, 4, 4, {0}, /*tsv_hop_cost=*/0.5);
+  EXPECT_DOUBLE_EQ(m.tsv_hop_cost(), 0.5);
+  const TileId below = m.tile_at(0u, 1u, 2u);
+  const TileId above = m.tile_at(1u, 1u, 2u);
+  EXPECT_EQ(m.hops(below, above), 1u);
+  EXPECT_DOUBLE_EQ(m.weighted_hops(below, above), 0.5);
+  EXPECT_DOUBLE_EQ(m.weighted_hops(0, m.tile_at(1u, 2u, 3u)), 5.5);
+  // On a 2D mesh the weighted distance degenerates to the hop count.
+  const Mesh flat = Mesh::square(4);
+  EXPECT_DOUBLE_EQ(flat.weighted_hops(0, 15), 6.0);
+}
+
+TEST(Mesh3D, AvgWeightedHopsMatchesDirectSum) {
+  const Mesh m(2, 3, 4, {0}, /*tsv_hop_cost=*/1.5);
+  for (TileId t = 0; t < m.num_tiles(); ++t) {
+    double direct = 0.0;
+    for (TileId u = 0; u < m.num_tiles(); ++u) {
+      direct += m.weighted_hops(t, u);
+    }
+    direct /= static_cast<double>(m.num_tiles());
+    EXPECT_DOUBLE_EQ(m.avg_weighted_hops_to_all(t), direct);
+  }
+}
+
+TEST(Mesh3D, NearestMcUsesWeightedDistance) {
+  // MC 0 at layer-0 corner, MC 21 at (layer 1, row 1, col 1). With cheap
+  // TSVs the upper layer belongs to the upper MC even where plain hop
+  // counts would tie.
+  const Mesh m(2, 4, 4, {0, 21}, /*tsv_hop_cost=*/0.25);
+  const TileId probe = m.tile_at(1u, 2u, 2u);  // 2 planar hops from MC 21
+  EXPECT_EQ(m.nearest_mc(probe), 21u);
+  EXPECT_DOUBLE_EQ(m.weighted_hops_to_nearest_mc(probe), 2.0);
+  // A layer-0 tile right under MC 21 pays only the TSV to reach it.
+  const TileId under = m.tile_at(0u, 1u, 1u);
+  EXPECT_EQ(m.nearest_mc(under), 21u);
+  EXPECT_DOUBLE_EQ(m.weighted_hops_to_nearest_mc(under), 0.25);
+}
+
+TEST(Mesh3D, StackedWithPlacementPutsMcsOnBaseDie) {
+  const Mesh m = Mesh::stacked_with_placement(4, 8, McPlacement::kCorners);
+  EXPECT_EQ(m.layers(), 4u);
+  EXPECT_EQ(m.num_tiles(), 256u);
+  ASSERT_EQ(m.mc_tiles().size(), 4u);
+  for (TileId mc : m.mc_tiles()) {
+    EXPECT_EQ(m.coord_of(mc).layer, 0u);
+  }
+  EXPECT_THROW(
+      Mesh::stacked_with_placement(2, 4, McPlacement::kRandom), Error);
+  EXPECT_THROW(
+      Mesh::square_with_placement(4, McPlacement::kRandom), Error);
+}
+
+TEST(Mesh3D, InvalidStackRejected) {
+  EXPECT_THROW(Mesh(0, 4, 4, {0}), Error);            // no layers
+  EXPECT_THROW(Mesh(2, 4, 4, {0}, 0.0), Error);       // non-positive TSV cost
+  EXPECT_THROW(Mesh(2, 4, 4, {0}, -1.0), Error);      // negative TSV cost
+  EXPECT_THROW(Mesh(2, 4, 4, {32}), Error);           // MC id out of range
+}
+
+TEST(Mesh, PlacementNameRoundTrip) {
+  for (const McPlacement p :
+       {McPlacement::kCorners, McPlacement::kEdgeMiddles, McPlacement::kDiamond,
+        McPlacement::kRandom}) {
+    McPlacement parsed{};
+    ASSERT_TRUE(mc_placement_from_name(mc_placement_name(p), parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  McPlacement ignored{};
+  EXPECT_FALSE(mc_placement_from_name("nonsense", ignored));
+}
+
 }  // namespace
 }  // namespace nocmap

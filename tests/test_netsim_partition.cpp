@@ -10,9 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "core/annealing_mapper.h"
+#include "core/global_mapper.h"
+#include "core/metrics.h"
+#include "core/monte_carlo_mapper.h"
+#include "core/sss_mapper.h"
 #include "workload/synthesis.h"
 
 namespace nocmap {
@@ -260,7 +266,7 @@ TEST(NetsimPartition, BoundaryFlitCountTracksPartitionWidth) {
       traffic.generate(net, t, locals);
       net.step();
       for (const Ejection& e : net.take_ejections()) {
-        traffic.on_ejection(e, net.now());
+        traffic.on_ejection(net, e, net.now());
       }
     }
     return net.boundary_flits();
@@ -270,6 +276,94 @@ TEST(NetsimPartition, BoundaryFlitCountTracksPartitionWidth) {
   const std::uint64_t halo8 = boundary_volume(c8);
   EXPECT_GT(halo2, 0u);
   EXPECT_GT(halo8, halo2);  // 7 band edges see more crossings than 1
+}
+
+// --- Stacked (3D) meshes ---------------------------------------------------
+
+/// layers × n × n stack with corner MCs on the base die and a 4-app
+/// workload filling the tiles.
+ObmProblem stacked_problem(std::uint32_t layers, std::uint32_t n,
+                           std::uint64_t seed) {
+  const Mesh mesh = Mesh::stacked_with_placement(layers, n,
+                                                 McPlacement::kCorners);
+  SynthesisOptions opt;
+  opt.num_applications = 4;
+  opt.threads_per_app = mesh.num_tiles() / 4;
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}),
+                    synthesize_workload(parsec_config("C2"), 77 + seed, opt));
+}
+
+TEST(NetsimPartition3D, DomainsAreLayerRowSlabs) {
+  // A stack partitions over layer-major global rows: 2 layers of 4 rows
+  // give 8 splittable slabs, each a whole number of rows wide.
+  const Mesh mesh(2, 4, 4, {0, 3, 12, 15});
+  for (const std::size_t workers : {1, 2, 3, 8, 64}) {
+    Network net(mesh, NetworkConfig{}, workers);
+    EXPECT_EQ(net.num_domains(), std::min<std::size_t>(workers, 8u))
+        << workers << " workers";
+    TileId expect_first = 0;
+    for (std::size_t d = 0; d < net.num_domains(); ++d) {
+      EXPECT_EQ(net.domain_first_tile(d), expect_first);
+      const TileId end = net.domain_end_tile(d);
+      EXPECT_EQ((end - net.domain_first_tile(d)) % mesh.cols(), 0u);
+      expect_first = end;
+    }
+    EXPECT_EQ(expect_first, mesh.num_tiles());
+  }
+}
+
+TEST(NetsimPartition3D, StackedMeshMatchesSerial) {
+  // Vertical (TSV) traffic crosses the layer boundary between slabs — the
+  // 3D analogue of the halo-exchange worst case.
+  const ObmProblem p = stacked_problem(2, 4, 8);
+  const Mapping id = p.identity_mapping();
+  const SimResult serial = run_simulation(p, id, quick_config(1));
+  EXPECT_EQ(serial.flits_injected, serial.flits_ejected);
+  for (const std::size_t workers : {2, 3, 8}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers on 2x4x4");
+    expect_identical(serial, run_simulation(p, id, quick_config(workers)));
+  }
+}
+
+// Acceptance scenario: a 4x8x8 (256-tile) multi-application stack runs end
+// to end — analytic model, all four paper mappers, and the partitioned
+// simulator bit-identical at 1/2/8 workers.
+TEST(NetsimPartition3D, FourLayer8x8EndToEndAllMappers) {
+  const ObmProblem p = stacked_problem(4, 8, 9);
+  ASSERT_EQ(p.mesh().num_tiles(), 256u);
+
+  GlobalMapper global;
+  MonteCarloMapper mc(200, 7);
+  AnnealingMapper sa(AnnealingParams{.iterations = 2000, .seed = 7});
+  SortSelectSwapMapper sss;
+  const std::vector<Mapper*> mappers{&global, &mc, &sa, &sss};
+
+  Mapping best;
+  double best_max_apl = 0.0;
+  for (Mapper* mapper : mappers) {
+    const Mapping m = mapper->map(p);
+    ASSERT_TRUE(m.is_valid_permutation(p.mesh().num_tiles()));
+    const LatencyReport r = evaluate(p, m);
+    EXPECT_GT(r.max_apl, 0.0);
+    EXPECT_GE(r.max_apl, r.g_apl);
+    if (best.thread_to_tile.empty() || r.max_apl < best_max_apl) {
+      best = m;
+      best_max_apl = r.max_apl;
+    }
+  }
+
+  SimConfig c = quick_config(1);
+  c.warmup_cycles = 200;
+  c.measure_cycles = 1200;
+  const SimResult serial = run_simulation(p, best, c);
+  EXPECT_GT(serial.packets_measured, 0u);
+  EXPECT_EQ(serial.flits_injected, serial.flits_ejected);
+  for (const std::size_t workers : {2, 8}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers on 4x8x8");
+    SimConfig cw = c;
+    cw.sim_workers = workers;
+    expect_identical(serial, run_simulation(p, best, cw));
+  }
 }
 
 }  // namespace

@@ -189,6 +189,140 @@ TEST(SweepExpand, ZeroThreadsPerAppFillsTheMesh) {
   EXPECT_EQ(expansion.scenarios[0].spec.threads_per_app, 16u);
 }
 
+// ------------------------------------------------- generalized scenario axes
+
+TEST(SweepSpec, ParsesGeneralizedAxes) {
+  const CampaignSpec spec = parse_spec(std::string(R"({
+    "schema": "nocmap.sweep_spec/1",
+    "name": "stacked",
+    "axes": {
+      "mesh_side": [4],
+      "mesh_layers": [1, 2, 4],
+      "tsv_hop_cost": [0.5, 1.0],
+      "mc_placement": ["corners", "random"],
+      "mc_count": 3,
+      "traffic_mode": ["proximity", "interleaved", "multicast"]
+    },
+    "mappers": ["SSS"]
+  })"));
+  EXPECT_EQ(spec.mesh_layers, (std::vector<std::uint32_t>{1, 2, 4}));
+  EXPECT_EQ(spec.tsv_hop_cost, (std::vector<double>{0.5, 1.0}));
+  EXPECT_EQ(spec.mc_count, 3u);
+  EXPECT_EQ(spec.mc_placement,
+            (std::vector<McPlacement>{McPlacement::kCorners,
+                                      McPlacement::kRandom}));
+  EXPECT_EQ(spec.traffic_mode,
+            (std::vector<MemoryTrafficMode>{MemoryTrafficMode::kProximity,
+                                            MemoryTrafficMode::kInterleaved,
+                                            MemoryTrafficMode::kMulticast}));
+
+  const char* bad_specs[] = {
+      R"({"schema":"nocmap.sweep_spec/1","name":"x",
+          "axes":{"mesh_layers":[9]}})",
+      R"({"schema":"nocmap.sweep_spec/1","name":"x",
+          "axes":{"tsv_hop_cost":[0.0]}})",
+      R"({"schema":"nocmap.sweep_spec/1","name":"x",
+          "axes":{"traffic_mode":["bogus"]}})",
+      R"({"schema":"nocmap.sweep_spec/1","name":"x",
+          "axes":{"mc_count":0}})",
+      R"({"schema":"nocmap.sweep_spec/1","name":"x",
+          "axes":{"mc_placement":["nonsense"]}})",
+  };
+  for (const char* text : bad_specs) {
+    EXPECT_THROW((void)parse_spec(std::string(text)), Error) << text;
+  }
+}
+
+TEST(SweepExpand, FillsGeneralizedScenarioFields) {
+  CampaignSpec spec;
+  spec.name = "general";
+  spec.mesh_side = {4};
+  spec.mesh_layers = {2};
+  spec.tsv_hop_cost = {0.5};
+  spec.mc_placement = {McPlacement::kRandom};
+  spec.mc_count = 3;
+  spec.traffic_mode = {MemoryTrafficMode::kMulticast};
+  spec.num_applications = {2};
+  const Expansion expansion = expand_spec(spec);
+  ASSERT_EQ(expansion.scenarios.size(), 1u);
+  const check::ScenarioSpec& s = expansion.scenarios[0].spec;
+  EXPECT_EQ(s.mesh_layers, 2u);
+  EXPECT_DOUBLE_EQ(s.tsv_hop_cost, 0.5);
+  EXPECT_EQ(s.mc_placement, McPlacement::kRandom);
+  EXPECT_EQ(s.mc_count, 3u);
+  EXPECT_EQ(s.traffic_mode, MemoryTrafficMode::kMulticast);
+  // "fill" threads-per-app sentinel accounts for all layers: 32 tiles / 2.
+  EXPECT_EQ(s.threads_per_app, 16u);
+}
+
+TEST(SweepExpand, SkipsTorusStacksAndOversizedRandomSets) {
+  // Torus wraparound is 2D-only: every (torus, layers>1) grid point is an
+  // invalid combo, skipped rather than fatal.
+  CampaignSpec spec;
+  spec.name = "torus3d";
+  spec.mesh_side = {4};
+  spec.mesh_layers = {1, 2};
+  spec.torus = {false, true};
+  spec.num_applications = {2};
+  const Expansion expansion = expand_spec(spec);
+  EXPECT_EQ(expansion.combinations, 4u);
+  EXPECT_EQ(expansion.skipped, 1u);  // torus + 2 layers
+  for (const SweepScenario& s : expansion.scenarios) {
+    EXPECT_TRUE(!s.spec.torus || s.spec.mesh_layers == 1);
+  }
+  spec.skip_invalid = false;
+  EXPECT_THROW((void)expand_spec(spec), Error);
+
+  // A random MC set larger than the chip is likewise an invalid combo.
+  CampaignSpec random_spec;
+  random_spec.name = "bigset";
+  random_spec.mesh_side = {2, 8};
+  random_spec.mc_placement = {McPlacement::kRandom};
+  random_spec.mc_count = 16;  // > 4 tiles on the 2x2, fine on the 8x8
+  random_spec.num_applications = {1};
+  const Expansion rand_exp = expand_spec(random_spec);
+  EXPECT_EQ(rand_exp.combinations, 2u);
+  EXPECT_EQ(rand_exp.skipped, 1u);
+  ASSERT_EQ(rand_exp.scenarios.size(), 1u);
+  EXPECT_EQ(rand_exp.scenarios[0].spec.mesh_side, 8u);
+}
+
+// Satellite fix pinned: torus grid points used to reach run_simulation and
+// abort on the Network ctor's NOCMAP_REQUIRE; they must instead skip the
+// netsim stage (sim: null) while the analytic stage still runs.
+TEST(SweepRunner, TorusScenariosSkipNetsimStage) {
+  CampaignSpec spec;
+  spec.name = "torus-netsim";
+  spec.mesh_side = {4};
+  spec.torus = {false, true};
+  spec.num_applications = {2};
+  spec.mappers = {"Global"};
+  spec.netsim.enabled = true;
+  spec.netsim.warmup_cycles = 100;
+  spec.netsim.measure_cycles = 500;
+  spec.netsim.max_drain_cycles = 10000;
+
+  const fs::path dir = scratch_dir("torus_netsim");
+  CampaignOptions options;
+  options.out_dir = dir.string();
+  options.parallel.num_threads = 1;
+  ASSERT_TRUE(run_campaign(spec, options).finished);
+
+  const CampaignLog log =
+      read_campaign_log((dir / "campaign.jsonl").string());
+  ASSERT_EQ(log.records.size(), 2u);
+  int simulated = 0, skipped = 0;
+  for (const obs::JsonValue& record : log.records) {
+    const bool torus = record.find("topology")->as_string() == "torus";
+    const bool has_sim = !record.find("sim")->is_null();
+    EXPECT_GT(record.find("max_apl")->as_double(), 0.0);  // analytic ran
+    EXPECT_NE(torus, has_sim);
+    (torus ? skipped : simulated)++;
+  }
+  EXPECT_EQ(simulated, 1);
+  EXPECT_EQ(skipped, 1);
+}
+
 // ----------------------------------------------------------- resumability
 
 /// The tentpole contract: run the campaign to completion three ways —

@@ -359,5 +359,100 @@ TEST(Sim, ForwardingAddsPacketsNotFewer) {
   EXPECT_GT(transaction_latency(fwd), transaction_latency(base));
 }
 
+// --- Memory-traffic modes --------------------------------------------------
+
+ObmProblem mode_problem(MemoryTrafficMode mode) {
+  const Mesh mesh = Mesh::square(4);
+  std::vector<Application> apps(2);
+  apps[0].name = "light";
+  apps[0].threads.assign(8, ThreadProfile{2.0, 0.8});
+  apps[1].name = "heavy";
+  apps[1].threads.assign(8, ThreadProfile{8.0, 1.5});
+  return ObmProblem(TileLatencyModel(mesh, LatencyParams{}, mode),
+                    Workload(std::move(apps)));
+}
+
+TEST(SimMemoryModes, ModeComesFromTheProblemModel) {
+  // run_simulation derives the traffic engine's memory mode from the
+  // problem's latency model; a contradictory SimConfig setting is ignored,
+  // so analytic and measured results can never disagree about the mode.
+  const ObmProblem proximity = mode_problem(MemoryTrafficMode::kProximity);
+  SimConfig c = quick_config();
+  c.traffic.memory_mode = MemoryTrafficMode::kMulticast;
+  const SimResult r = run_simulation(proximity, proximity.identity_mapping(),
+                                     c);
+  const auto fwd = static_cast<std::size_t>(PacketClass::kMemoryForward);
+  EXPECT_EQ(r.per_class[fwd].count(), 0u);
+}
+
+TEST(SimMemoryModes, AllModesConserveFlits) {
+  for (const MemoryTrafficMode mode :
+       {MemoryTrafficMode::kProximity, MemoryTrafficMode::kInterleaved,
+        MemoryTrafficMode::kMulticast}) {
+    SCOPED_TRACE(memory_traffic_mode_name(mode));
+    const ObmProblem p = mode_problem(mode);
+    const SimResult r =
+        run_simulation(p, p.identity_mapping(), quick_config());
+    EXPECT_FALSE(r.drain_incomplete);
+    EXPECT_EQ(r.flits_injected, r.flits_ejected);
+    const auto req = static_cast<std::size_t>(PacketClass::kMemoryRequest);
+    const auto rep = static_cast<std::size_t>(PacketClass::kMemoryReply);
+    EXPECT_GT(r.per_class[req].count(), 0u);
+    EXPECT_GT(r.per_class[rep].count(), 0u);
+  }
+}
+
+TEST(SimMemoryModes, InterleavingLengthensMemoryRequests) {
+  // Round-robin over all MCs replaces the nearest-MC distance with the
+  // average distance, so measured memory-request latency must rise.
+  const ObmProblem near = mode_problem(MemoryTrafficMode::kProximity);
+  const ObmProblem inter = mode_problem(MemoryTrafficMode::kInterleaved);
+  const SimResult a =
+      run_simulation(near, near.identity_mapping(), quick_config());
+  const SimResult b =
+      run_simulation(inter, inter.identity_mapping(), quick_config());
+  const auto req = static_cast<std::size_t>(PacketClass::kMemoryRequest);
+  EXPECT_GT(b.per_class[req].mean(), a.per_class[req].mean());
+}
+
+TEST(SimMemoryModes, MulticastEmitsForwardSegmentsAndOneReply) {
+  const ObmProblem p = mode_problem(MemoryTrafficMode::kMulticast);
+  const SimResult r =
+      run_simulation(p, p.identity_mapping(), quick_config());
+  const auto fwd = static_cast<std::size_t>(PacketClass::kMemoryForward);
+  const auto req = static_cast<std::size_t>(PacketClass::kMemoryRequest);
+  const auto rep = static_cast<std::size_t>(PacketClass::kMemoryReply);
+  // Reaching 4 corner MCs from one source takes branch segments beyond the
+  // plain delivery packets.
+  EXPECT_GT(r.per_class[fwd].count(), 0u);
+  // Every request transaction still gets exactly one reply (from the
+  // responder MC), so replies cannot outnumber MC deliveries.
+  EXPECT_GT(r.per_class[rep].count(), 0u);
+  EXPECT_LT(r.per_class[rep].count(), r.per_class[req].count());
+  EXPECT_FALSE(r.drain_incomplete);
+}
+
+TEST(SimMemoryModes, StackedMeshSimulatesAllModes) {
+  const Mesh mesh = Mesh::stacked_with_placement(2, 4, McPlacement::kCorners,
+                                                 0.5);
+  for (const MemoryTrafficMode mode :
+       {MemoryTrafficMode::kProximity, MemoryTrafficMode::kInterleaved,
+        MemoryTrafficMode::kMulticast}) {
+    SCOPED_TRACE(memory_traffic_mode_name(mode));
+    std::vector<Application> apps(2);
+    apps[0].name = "a";
+    apps[0].threads.assign(16, ThreadProfile{3.0, 0.6});
+    apps[1].name = "b";
+    apps[1].threads.assign(16, ThreadProfile{6.0, 1.2});
+    const ObmProblem p(TileLatencyModel(mesh, LatencyParams{}, mode),
+                       Workload(std::move(apps)));
+    const SimResult r =
+        run_simulation(p, p.identity_mapping(), quick_config());
+    EXPECT_GT(r.packets_measured, 0u);
+    EXPECT_FALSE(r.drain_incomplete);
+    EXPECT_EQ(r.flits_injected, r.flits_ejected);
+  }
+}
+
 }  // namespace
 }  // namespace nocmap
